@@ -1,0 +1,96 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction bench binaries: CLI
+// parsing (--scale, --days, --out), universe construction, hitlist
+// assembly, and "paper vs measured" row printing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hitlist/pipeline.h"
+#include "netsim/network_sim.h"
+#include "netsim/universe.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace v6h::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  int days = 3;          // pipeline days to run (fills the APD window)
+  int horizon = 270;     // source-growth day used as "now"
+  std::string out_dir = ".";
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      auto next_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (std::strcmp(argv[i], "--scale") == 0) {
+        args.scale = std::atof(next_value("--scale"));
+      } else if (std::strcmp(argv[i], "--days") == 0) {
+        args.days = std::atoi(next_value("--days"));
+      } else if (std::strcmp(argv[i], "--horizon") == 0) {
+        args.horizon = std::atoi(next_value("--horizon"));
+      } else if (std::strcmp(argv[i], "--out") == 0) {
+        args.out_dir = next_value("--out");
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("flags: --scale S --days N --horizon D --out DIR\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  netsim::UniverseParams universe_params() const {
+    netsim::UniverseParams params;
+    params.scale = scale;
+    return params;
+  }
+};
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+/// "paper X / measured Y" one-liner.
+inline void compare(const char* label, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", label, paper.c_str(),
+              measured.c_str());
+}
+
+/// Assemble the cumulative hitlist by running the pipeline for
+/// `days` daily cycles ending at the growth horizon.
+inline hitlist::Pipeline::DayReport run_pipeline_days(hitlist::Pipeline& pipeline,
+                                                      const BenchArgs& args) {
+  hitlist::Pipeline::DayReport report;
+  for (int i = args.days - 1; i >= 0; --i) {
+    report = pipeline.run_day(args.horizon - i);
+  }
+  return report;
+}
+
+inline void write_file(const std::string& path, const std::string& content) {
+  if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("  wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  } else {
+    std::fprintf(stderr, "  could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace v6h::bench

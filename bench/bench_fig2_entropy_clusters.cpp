@@ -1,0 +1,63 @@
+// Figure 2: entropy clustering of /32 prefixes — (a) full-address
+// fingerprints F9-32 (paper: 6 clusters), (b) IID fingerprints F17-32
+// (paper: 4 clusters). Prints cluster popularity + median-entropy rows
+// and the elbow SSE curve.
+
+#include "bench_common.h"
+#include "entropy/clustering.h"
+
+using namespace v6h;
+
+namespace {
+
+void run_variant(const char* title, const std::vector<ipv6::Address>& addrs,
+                 entropy::NybbleRange range, std::size_t min_addresses,
+                 unsigned paper_k) {
+  bench::header(title);
+  entropy::ClusteringOptions options;
+  options.range = range;
+  options.min_addresses = min_addresses;
+  const auto result =
+      entropy::cluster_addresses(addrs, entropy::group_by_slash32(), options);
+  std::printf("%s", result.render().c_str());
+  std::printf("  elbow SSE(k): ");
+  for (const auto sse : result.elbow.sse_per_k) std::printf("%.2f ", sse);
+  std::printf("\n");
+  bench::compare("clusters (k via elbow)", std::to_string(paper_k),
+                 std::to_string(result.k));
+  if (!result.clusters.empty()) {
+    // Paper: the most popular full-address cluster is the near-zero-
+    // entropy counter scheme.
+    double low_nybbles = 0.0;
+    const auto& top = result.clusters.front().median_entropy;
+    for (std::size_t i = 0; i + 4 < top.size(); ++i) low_nybbles += top[i];
+    bench::compare("top cluster: mean entropy outside tail", "~0 (counters)",
+                   util::format_double(low_nybbles / (top.size() - 4), 3));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const netsim::Universe universe(args.universe_params());
+  netsim::NetworkSim sim(universe);
+  hitlist::Pipeline pipeline(universe, sim);
+  bench::run_pipeline_days(pipeline, args);
+
+  // The paper clusters the full (pre-scan) hitlist; min 100 addresses
+  // per /32, scaled with the universe.
+  const auto min_addresses = std::max<std::size_t>(
+      20, static_cast<std::size_t>(100.0 * args.scale));
+  const auto& addrs = pipeline.targets();
+
+  run_variant("Figure 2a: /32 clusters, full-address fingerprints F9-32", addrs,
+              entropy::kFullBelow32, min_addresses, 6);
+  run_variant("Figure 2b: /32 clusters, IID fingerprints F17-32", addrs,
+              entropy::kIidOnly, min_addresses, 4);
+
+  bench::note("\nPaper reading: counters dominate; pseudo-random IIDs and the two");
+  bench::note("MAC-based ff:fe schemes form their own clusters; on IID-only");
+  bench::note("fingerprints the subnet structure vanishes and clusters merge.");
+  return 0;
+}

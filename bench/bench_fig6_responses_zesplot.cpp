@@ -1,0 +1,51 @@
+// Figure 6 + Section 6.1: all announced BGP prefixes colored by the
+// number of non-aliased ICMP Echo responses (paper: 1.9M responsive
+// addresses over 21647 prefixes in 9968 ASes).
+
+#include "bench_common.h"
+#include "hitlist/stats.h"
+#include "zesplot/zesplot.h"
+
+using namespace v6h;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::header("Figure 6 / Section 6.1: ICMP-responsive addresses per BGP prefix");
+
+  const netsim::Universe universe(args.universe_params());
+  netsim::NetworkSim sim(universe);
+  hitlist::Pipeline pipeline(universe, sim);
+  const auto report = bench::run_pipeline_days(pipeline, args);
+
+  std::vector<ipv6::Address> responsive, icmp_responsive;
+  for (const auto& t : report.scan.targets) {
+    if (t.responded_any()) responsive.push_back(t.address);
+    if (t.responded(net::Protocol::kIcmp)) icmp_responsive.push_back(t.address);
+  }
+  const auto summary = hitlist::summarize_distribution(responsive, universe.bgp());
+  const auto by_prefix = hitlist::prefix_counter(icmp_responsive, universe.bgp());
+
+  std::vector<zesplot::Item> items;
+  for (const auto& ann : universe.bgp().announcements()) {
+    const auto it = by_prefix.raw().find(ann.prefix);
+    items.push_back(
+        {ann.prefix, ann.asn, it == by_prefix.raw().end() ? 0 : it->second});
+  }
+  const auto plot = zesplot::layout(std::move(items), {});
+  bench::write_file(args.out_dir + "/fig6_responses_zesplot.svg", plot.to_svg());
+
+  bench::compare("responsive addresses (any protocol)", "1.9M",
+                 std::to_string(responsive.size()));
+  bench::compare("BGP prefixes with responsive addresses", "21647",
+                 std::to_string(summary.prefixes));
+  bench::compare("ASes with responsive addresses", "9968",
+                 std::to_string(summary.ases));
+  bench::compare(
+      "response rate over scanned targets", "6.5 % (1.9M / 29.4M)",
+      util::percent(static_cast<double>(responsive.size()) /
+                    std::max<std::size_t>(report.scan.targets.size(), 1)));
+  bench::note("\nShape check: most covered prefixes answer with dozens-to-hundreds");
+  bench::note("of addresses; a few contribute the most responses; the response");
+  bench::note("plot mirrors the input plot of Figure 1c with a smaller scale.");
+  return 0;
+}

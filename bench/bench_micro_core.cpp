@@ -1,0 +1,147 @@
+// Microbenchmarks for the hot primitives underneath the measurement
+// pipeline: address parse/format, trie longest-prefix matching,
+// fan-out address generation, entropy fingerprints, k-means, and the
+// end-to-end per-probe cost of the simulated wire.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apd/apd.h"
+#include "entropy/clustering.h"
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+#include "ipv6/trie.h"
+#include "netsim/network_sim.h"
+#include "util/rng.h"
+
+namespace {
+
+using v6h::ipv6::Address;
+using v6h::ipv6::Prefix;
+using v6h::ipv6::PrefixTrie;
+
+void BM_AddressParse(benchmark::State& state) {
+  const std::string text = "2001:db8:407:8000:181c:4fcb:8ca8:7c64";
+  for (auto _ : state) {
+    auto a = Address::parse(text);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_AddressParse);
+
+void BM_AddressFormat(benchmark::State& state) {
+  const Address a = v6h::ipv6::must_parse("2001:db8::8ca8:7c64");
+  for (auto _ : state) {
+    auto s = a.to_string();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_AddressFormat);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  v6h::util::Rng rng(1);
+  PrefixTrie<int> trie;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const Address a = Address::from_u64(0x2000000000000000ULL | rng.next_u64() >> 3,
+                                        rng.next_u64());
+    trie.insert(Prefix(a, static_cast<std::uint8_t>(20 + rng.uniform(29))), i);
+  }
+  std::vector<Address> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back(Address::from_u64(0x2000000000000000ULL | rng.next_u64() >> 3,
+                                       rng.next_u64()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto m = trie.longest_match(probes[i++ & 1023]);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000)->Arg(56000);
+
+void BM_FanoutAddressGeneration(benchmark::State& state) {
+  const Prefix p = v6h::ipv6::must_parse_prefix("2001:db8:407:8000::/64");
+  unsigned branch = 0;
+  for (auto _ : state) {
+    const Address a = p.fanout_address(branch & 0x0f, branch);
+    ++branch;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FanoutAddressGeneration);
+
+void BM_EntropyFingerprint(benchmark::State& state) {
+  v6h::util::Rng rng(3);
+  std::vector<Address> addrs;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    addrs.push_back(Address::from_u64(0x20010db800000000ULL, rng.next_u64()));
+  }
+  for (auto _ : state) {
+    auto fp = v6h::entropy::compute_fingerprint(addrs, v6h::entropy::kFullBelow32);
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EntropyFingerprint)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KMeansSixClusters(benchmark::State& state) {
+  v6h::util::Rng rng(4);
+  std::vector<v6h::entropy::Fingerprint> points;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    v6h::entropy::Fingerprint fp(24);
+    const int family = i % 6;
+    for (std::size_t j = 0; j < fp.size(); ++j) {
+      fp[j] = ((static_cast<int>(j) + family) % 6 < 2 ? 0.9 : 0.05) +
+              0.02 * rng.uniform_real();
+    }
+    points.push_back(std::move(fp));
+  }
+  for (auto _ : state) {
+    auto result = v6h::entropy::kmeans(points, 6, 1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeansSixClusters)->Arg(100)->Arg(1000);
+
+void BM_SimulatedProbe(benchmark::State& state) {
+  static const v6h::netsim::Universe universe = [] {
+    v6h::netsim::UniverseParams p;
+    p.scale = 0.5;
+    p.tail_as_count = 2000;
+    return v6h::netsim::Universe(p);
+  }();
+  v6h::netsim::NetworkSim sim(universe);
+  std::vector<Address> targets;
+  v6h::util::Rng rng(5);
+  for (int i = 0; i < 1024; ++i) {
+    const auto& zone = universe.zones()[rng.uniform(universe.zones().size())];
+    targets.push_back(zone.discoverable_address(
+        static_cast<std::uint32_t>(rng.uniform(zone.discoverable_count())), 0));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = sim.probe(targets[i++ & 1023], v6h::net::Protocol::kIcmp, 0, 0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimulatedProbe);
+
+void BM_ApdPrefixTest(benchmark::State& state) {
+  static const v6h::netsim::Universe universe = [] {
+    v6h::netsim::UniverseParams p;
+    p.scale = 0.5;
+    p.tail_as_count = 500;
+    return v6h::netsim::Universe(p);
+  }();
+  v6h::netsim::NetworkSim sim(universe);
+  v6h::apd::AliasDetector detector(sim);
+  const Prefix aliased = universe.true_aliased_prefixes().front();
+  for (auto _ : state) {
+    auto outcome = detector.probe_prefix(aliased, 0);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ApdPrefixTest);
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Table 5: fingerprinting aliased prefixes — inconsistent prefixes per
+// test, cumulative, and total consistent (paper: 20.7k aliased /64s,
+// only 1186 inconsistent on the value metrics, 13202 pass the
+// timestamp tests).
+
+#include <set>
+
+#include "bench_common.h"
+#include "fingerprint/consistency.h"
+
+using namespace v6h;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::header("Table 5: fingerprint consistency over aliased /64 prefixes");
+
+  const netsim::Universe universe(args.universe_params());
+  netsim::NetworkSim sim(universe);
+
+  // Enumerate aliased /64s the way the paper does: /64s inside detected
+  // aliased space whose 16 TCP/80 fan-out probes all answered. Ground
+  // truth gives us the aliased zones; sample /64s within them.
+  std::vector<ipv6::Prefix> aliased_64s;
+  for (const auto& zone : universe.zones()) {
+    if (!zone.aliased() || zone.prefix().length() > 64) continue;
+    if (!responds_to(zone.config().machine_service, net::Protocol::kTcp80)) continue;
+    const unsigned samples = zone.prefix().length() == 64 ? 1 : 24;
+    for (unsigned i = 0; i < samples; ++i) {
+      const auto base = zone.prefix().random_address(util::hash64(zone.id(), i));
+      const ipv6::Prefix p64(base, 64);
+      if (!zone.config().carveout || !zone.config().carveout->contains(base)) {
+        aliased_64s.push_back(p64);
+      }
+    }
+  }
+
+  std::size_t usable = 0;
+  std::size_t incs_ittl = 0, incs_options = 0, incs_wscale = 0, incs_mss = 0,
+              incs_wsize = 0;
+  std::size_t ts_consistent = 0, fully_responding = 0;
+  std::size_t raw_ttl_inconsistent = 0;
+  std::vector<fingerprint::ConsistencyReport> reports;
+  for (const auto& p64 : aliased_64s) {
+    const auto obs = fingerprint::observe_prefix(sim, p64, args.horizon);
+    fingerprint::ConsistencyReport report = fingerprint::evaluate_consistency(obs);
+    if (report.responding_addresses < 16) continue;  // paper keeps all-16 only
+    ++fully_responding;
+    std::set<std::uint8_t> raw;
+    for (const auto& o : obs) {
+      for (int i = 0; i < 2; ++i) {
+        if (o.responded[i]) raw.insert(o.replies[i].ttl);
+      }
+    }
+    raw_ttl_inconsistent += raw.size() > 1;
+    ++usable;
+    incs_ittl += !report.ittl_consistent;
+    incs_options += !report.options_consistent;
+    incs_wscale += !report.wscale_consistent;
+    incs_mss += !report.mss_consistent;
+    incs_wsize += !report.wsize_consistent;
+    ts_consistent += report.timestamps_consistent() && !report.any_metric_inconsistent();
+    reports.push_back(report);
+  }
+
+  std::printf("  aliased /64 prefixes with all 16 TCP probes answered: %zu\n",
+              fully_responding);
+  bench::compare("raw TTL inconsistent (pre-iTTL)", "5970 of 20692 (28.9 %)",
+                 util::percent(static_cast<double>(raw_ttl_inconsistent) /
+                               std::max<std::size_t>(usable, 1)));
+
+  // Sequential test application with cumulative counts, like Table 5.
+  util::TextTable table({"Test", "Incs.", "Sum Incs.", "Sum Cons.", "paper"});
+  std::size_t cumulative = 0;
+  auto add = [&](const char* name, std::size_t incs, const char* paper_row) {
+    cumulative += incs;
+    table.add_row({name, std::to_string(incs), std::to_string(cumulative),
+                   std::to_string(usable - cumulative), paper_row});
+  };
+  // The same prefix can fail several tests; Table 5 counts first-failure
+  // increments, so apply in the paper's order on per-report flags.
+  std::size_t f_ittl = 0, f_opts = 0, f_wscale = 0, f_mss = 0, f_wsize = 0, f_ts = 0;
+  for (const auto& report : reports) {
+    if (!report.ittl_consistent) {
+      ++f_ittl;
+    } else if (!report.options_consistent) {
+      ++f_opts;
+    } else if (!report.wscale_consistent) {
+      ++f_wscale;
+    } else if (!report.mss_consistent) {
+      ++f_mss;
+    } else if (!report.wsize_consistent) {
+      ++f_wsize;
+    } else if (report.timestamps_consistent()) {
+      ++f_ts;
+    }
+  }
+  add("iTTL", f_ittl, "6 -> 20686 consistent");
+  add("Optionstext", f_opts, "104 -> 20581");
+  add("WScale", f_wscale, "105 -> 19515");
+  add("MSS", f_mss, "1030 -> 19513");
+  add("WSize", f_wsize, "1068 -> 19506");
+  std::printf("%s", table.to_string().c_str());
+  bench::compare("pass timestamp tests (consistent clocks)", "13202 of 20692 (63.8 %)",
+                 std::to_string(f_ts) + " of " + std::to_string(usable) + " (" +
+                     util::percent(static_cast<double>(f_ts) /
+                                   std::max<std::size_t>(usable, 1)) +
+                     ")");
+  bench::note("\nShape checks: iTTL almost never flags an aliased prefix; the value");
+  bench::note("metrics flag only a small minority (TCP-level proxies); a solid");
+  bench::note("majority passes a timestamp test -> truly one machine.");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table 6: validation — the same consistency tests on dense
+// *non-aliased* /64s. Paper: non-aliased prefixes are 50.4 %
+// inconsistent / 23.8 % consistent / 25.8 % indecisive, versus
+// 5.1 % / 63.8 % / 31.1 % for aliased prefixes.
+
+#include "bench_common.h"
+#include "fingerprint/consistency.h"
+#include "net/protocol.h"
+
+using namespace v6h;
+
+namespace {
+
+struct Shares {
+  double inconsistent = 0, consistent = 0, indecisive = 0;
+  std::size_t n = 0;
+};
+
+Shares tally(const std::vector<fingerprint::ConsistencyReport>& reports) {
+  Shares s;
+  for (const auto& r : reports) {
+    switch (r.verdict()) {
+      case fingerprint::Verdict::kInconsistent: s.inconsistent += 1; break;
+      case fingerprint::Verdict::kConsistent: s.consistent += 1; break;
+      case fingerprint::Verdict::kIndecisive: s.indecisive += 1; break;
+    }
+  }
+  s.n = reports.size();
+  if (s.n > 0) {
+    s.inconsistent /= static_cast<double>(s.n);
+    s.consistent /= static_cast<double>(s.n);
+    s.indecisive /= static_cast<double>(s.n);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::header("Table 6: consistency of aliased vs non-aliased prefixes");
+
+  const netsim::Universe universe(args.universe_params());
+  netsim::NetworkSim sim(universe);
+
+  // Aliased sample: one /64 per aliased zone (fan-out observations).
+  std::vector<fingerprint::ConsistencyReport> aliased_reports;
+  for (const auto& zone : universe.zones()) {
+    if (!zone.aliased() || zone.prefix().length() > 64) continue;
+    if (!responds_to(zone.config().machine_service, net::Protocol::kTcp80)) continue;
+    const ipv6::Prefix p64(zone.prefix().random_address(zone.id()), 64);
+    const auto report = fingerprint::evaluate_consistency(
+        fingerprint::observe_prefix(sim, p64, args.horizon));
+    if (report.responding_addresses >= 16) aliased_reports.push_back(report);
+  }
+
+  // Non-aliased sample: dense honest /64s with >= 16 TCP-responsive
+  // hosts, probed at their real addresses (the paper's 2940 prefixes).
+  std::vector<fingerprint::ConsistencyReport> honest_reports;
+  for (const auto& zone : universe.zones()) {
+    if (zone.aliased() || zone.config().host_count < 64) continue;
+    if (zone.config().scheme != netsim::AddressingScheme::kLowCounter &&
+        zone.config().scheme != netsim::AddressingScheme::kWideCounter) {
+      continue;
+    }
+    std::vector<ipv6::Address> responsive;
+    for (std::uint32_t slot = 0;
+         slot < zone.config().host_count && responsive.size() < 16; ++slot) {
+      const auto a = zone.host_address(slot, args.horizon);
+      if (sim.probe(a, net::Protocol::kTcp80, args.horizon, 0).responded) {
+        responsive.push_back(a);
+      }
+    }
+    if (responsive.size() < 16) continue;
+    honest_reports.push_back(fingerprint::evaluate_consistency(
+        fingerprint::observe_addresses(sim, responsive, args.horizon)));
+  }
+
+  const auto aliased = tally(aliased_reports);
+  const auto honest = tally(honest_reports);
+  util::TextTable table({"Scan type", "n", "Incons.", "Cons.", "Indec.",
+                         "paper Incons.", "paper Cons.", "paper Indec."});
+  table.add_row({"Non-aliased prefixes", std::to_string(honest.n),
+                 util::percent(honest.inconsistent), util::percent(honest.consistent),
+                 util::percent(honest.indecisive), "50.4 %", "23.8 %", "25.8 %"});
+  table.add_row({"Aliased prefixes", std::to_string(aliased.n),
+                 util::percent(aliased.inconsistent), util::percent(aliased.consistent),
+                 util::percent(aliased.indecisive), "5.1 %", "63.8 %", "31.1 %"});
+  std::printf("%s", table.to_string().c_str());
+
+  bench::note("\nShape checks (who wins): aliased prefixes are far less often");
+  bench::note("inconsistent and far more often pass the timestamp tests than");
+  bench::note("non-aliased prefixes — the discriminative power of Section 5.4.");
+  return 0;
+}
