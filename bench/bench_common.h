@@ -3,20 +3,61 @@
 // Shared plumbing for the paper-reproduction bench binaries: CLI
 // parsing (--scale, --days, --out), universe construction, hitlist
 // assembly, and "paper vs measured" row printing.
+//
+// This header is deliberately the benches' common include surface:
+// the std containers and util headers below are part of its contract
+// (the bench .cpp files rely on them transitively), so keep them even
+// if bench_common.h itself stops referencing one.
 
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hitlist/pipeline.h"
 #include "netsim/network_sim.h"
 #include "netsim/universe.h"
+#include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace v6h::bench {
+
+namespace detail {
+
+inline double parse_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(value)) {
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+inline int parse_int(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < INT_MIN ||
+      value > INT_MAX) {
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace detail
 
 struct BenchArgs {
   double scale = 1.0;
@@ -35,17 +76,33 @@ struct BenchArgs {
         return argv[++i];
       };
       if (std::strcmp(argv[i], "--scale") == 0) {
-        args.scale = std::atof(next_value("--scale"));
+        args.scale = detail::parse_double("--scale", next_value("--scale"));
       } else if (std::strcmp(argv[i], "--days") == 0) {
-        args.days = std::atoi(next_value("--days"));
+        args.days = detail::parse_int("--days", next_value("--days"));
       } else if (std::strcmp(argv[i], "--horizon") == 0) {
-        args.horizon = std::atoi(next_value("--horizon"));
+        args.horizon = detail::parse_int("--horizon", next_value("--horizon"));
       } else if (std::strcmp(argv[i], "--out") == 0) {
         args.out_dir = next_value("--out");
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf("flags: --scale S --days N --horizon D --out DIR\n");
         std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+        std::exit(2);
       }
+    }
+    if (!(args.scale > 0.0)) {
+      std::fprintf(stderr, "--scale must be positive (got %g)\n", args.scale);
+      std::exit(2);
+    }
+    if (args.days <= 0) {
+      std::fprintf(stderr, "--days must be positive (got %d)\n", args.days);
+      std::exit(2);
+    }
+    if (args.horizon < 0) {
+      std::fprintf(stderr, "--horizon must be non-negative (got %d)\n",
+                   args.horizon);
+      std::exit(2);
     }
     return args;
   }
@@ -83,13 +140,31 @@ inline hitlist::Pipeline::DayReport run_pipeline_days(hitlist::Pipeline& pipelin
   return report;
 }
 
+/// Write `content` to `path`, creating the parent directory when it
+/// does not exist yet. Failure to write is fatal (nonzero exit) so a
+/// bench run cannot silently drop its outputs.
 inline void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "  could not create %s: %s\n",
+                   target.parent_path().c_str(), ec.message().c_str());
+      std::exit(1);
+    }
+  }
   if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
-    std::fwrite(content.data(), 1, content.size(), f);
-    std::fclose(f);
+    const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+    const bool flushed = std::fclose(f) == 0;
+    if (written != content.size() || !flushed) {
+      std::fprintf(stderr, "  could not write %s (short write)\n", path.c_str());
+      std::exit(1);
+    }
     std::printf("  wrote %s (%zu bytes)\n", path.c_str(), content.size());
   } else {
     std::fprintf(stderr, "  could not write %s\n", path.c_str());
+    std::exit(1);
   }
 }
 

@@ -57,11 +57,12 @@ int main(int argc, char** argv) {
   const auto& ct = series[netsim::SourceId::kCt];
   bench::compare("scamper final vs DL final", "26.0M vs 9.8M (2.7x)",
                  std::to_string(scamper.back()) + " vs " + std::to_string(dl.back()));
+  const std::size_t day60 = std::min<std::size_t>(4, ct.size() - 1);
   bench::compare("CT growth after ingestion started", "jump visible",
                  util::format_double(static_cast<double>(ct.back()) /
-                                         std::max<std::size_t>(ct[4], 1),
+                                         std::max<std::size_t>(ct[day60], 1),
                                      1) +
-                     "x from day 60");
+                     "x from day " + std::to_string(days[day60]));
   bench::compare("total at horizon", "58.5M cumulative",
                  util::human_count(static_cast<double>(targets.size())));
   return 0;

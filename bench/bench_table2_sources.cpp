@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
   };
 
   util::TextTable table({"Source", "IPs", "new IPs", "#ASes", "#PFXes", "Top AS",
-                         "paper IPs", "paper new", "paper ASes", "paper top AS"});
+                         "paper IPs", "paper new", "paper ASes", "paper PFXes",
+                         "paper top AS"});
   std::uint64_t total = 0;
   for (const auto source : netsim::kAllSources) {
     const auto& seen = sources.cumulative(source);
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
                    util::human_count(static_cast<double>(new_count)),
                    util::human_count(static_cast<double>(by_as.distinct())),
                    util::human_count(static_cast<double>(by_prefix.distinct())),
-                   top_text, p.ips, p.new_ips, p.ases, p.top1});
+                   top_text, p.ips, p.new_ips, p.ases, p.pfxes, p.top1});
     total += new_count;
   }
   std::printf("%s", table.to_string().c_str());

@@ -1,0 +1,83 @@
+#include "apd/apd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace v6h::apd {
+
+using ipv6::Address;
+using ipv6::Prefix;
+
+AliasDetector::AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options)
+    : sim_(&sim), options_(options) {}
+
+PrefixOutcome AliasDetector::probe_prefix(const Prefix& prefix, int day) {
+  PrefixOutcome outcome;
+  outcome.prefix = prefix;
+  for (unsigned nybble = 0; nybble < 16; ++nybble) {
+    const Address a =
+        prefix.fanout_address(nybble, util::hash64(day, nybble, 0xA9D));
+    outcome.responded += sim_->probe(a, options_.protocol, day, nybble).responded;
+  }
+  outcome.aliased = outcome.responded == 16;
+  return outcome;
+}
+
+DayOutcome AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixes,
+                                              int day) {
+  DayOutcome out;
+  for (const auto& prefix : prefixes) {
+    const PrefixOutcome outcome = probe_prefix(prefix, day);
+    out.probes += 16;
+    State& state = state_[prefix];
+    state.history.push_back(outcome.aliased);
+    while (state.history.size() > options_.window_days + 1) {
+      state.history.pop_front();
+    }
+    bool verdict = false;
+    for (const bool positive : state.history) verdict |= positive;
+    if (state.has_verdict && verdict != state.verdict) ++flips_[prefix];
+    state.verdict = verdict;
+    state.has_verdict = true;
+    if (verdict) out.aliased.push_back(prefix);
+  }
+  return out;
+}
+
+std::vector<Prefix> AliasDetector::candidate_prefixes(
+    const std::vector<Address>& targets) const {
+  static constexpr std::uint8_t kLevels[] = {48, 64, 96, 112};
+  std::unordered_map<Prefix, std::size_t, ipv6::PrefixHash> counts;
+  const auto& bgp = sim_->universe().bgp();
+  for (const auto& a : targets) {
+    for (const auto level : kLevels) {
+      ++counts[Prefix(a, level)];
+    }
+    // The announced prefix is one more level — unless it coincides
+    // with a fixed level, which must not count the address twice.
+    if (const auto* announcement = bgp.lookup(a)) {
+      const std::uint8_t length = announcement->prefix.length();
+      bool already_counted = false;
+      for (const auto level : kLevels) already_counted |= level == length;
+      if (!already_counted) ++counts[announcement->prefix];
+    }
+  }
+  std::vector<Prefix> out;
+  for (const auto& [prefix, count] : counts) {
+    if (count >= options_.min_targets) out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Prefix> AliasDetector::current_aliased() const {
+  std::vector<Prefix> out;
+  for (const auto& [prefix, state] : state_) {
+    if (state.verdict) out.push_back(prefix);
+  }
+  return out;
+}
+
+}  // namespace v6h::apd

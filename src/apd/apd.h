@@ -1,0 +1,74 @@
+#pragma once
+
+// Multi-level aliased prefix detection (Section 5): probe 16 fan-out
+// addresses per candidate prefix (one per nybble value below the
+// prefix); a prefix where all 16 pseudo-random addresses answer is
+// aliased. Daily verdicts are smoothed with a sliding window
+// (Table 4) to suppress rate-limiting flicker.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+#include "net/protocol.h"
+#include "netsim/network_sim.h"
+
+namespace v6h::apd {
+
+struct ApdOptions {
+  unsigned window_days = 3;   // verdict window (0 = today only)
+  std::size_t min_targets = 2;  // hitlist addresses to make a candidate
+  net::Protocol protocol = net::Protocol::kIcmp;
+};
+
+struct PrefixOutcome {
+  ipv6::Prefix prefix;
+  unsigned responded = 0;  // of the 16 fan-out probes
+  bool aliased = false;    // today's raw outcome (pre-window)
+};
+
+struct DayOutcome {
+  std::vector<ipv6::Prefix> aliased;  // windowed verdicts, this batch
+  std::uint64_t probes = 0;
+};
+
+class AliasDetector {
+ public:
+  explicit AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options = {});
+
+  PrefixOutcome probe_prefix(const ipv6::Prefix& prefix, int day);
+
+  /// One APD day over a candidate batch: probe, update windows, and
+  /// return the prefixes currently judged aliased.
+  DayOutcome run_day_on_prefixes(const std::vector<ipv6::Prefix>& prefixes, int day);
+
+  /// Multi-level candidate enumeration from hitlist addresses: the
+  /// announced prefix plus /48../112 aggregates holding enough targets.
+  std::vector<ipv6::Prefix> candidate_prefixes(
+      const std::vector<ipv6::Address>& targets) const;
+
+  /// How often each prefix's windowed verdict changed (Table 4).
+  const std::map<ipv6::Prefix, unsigned>& verdict_flips() const { return flips_; }
+
+  /// All prefixes whose current windowed verdict is "aliased".
+  std::vector<ipv6::Prefix> current_aliased() const;
+
+  const ApdOptions& options() const { return options_; }
+
+ private:
+  struct State {
+    std::deque<bool> history;
+    bool verdict = false;
+    bool has_verdict = false;
+  };
+
+  netsim::NetworkSim* sim_;
+  ApdOptions options_;
+  std::map<ipv6::Prefix, State> state_;
+  std::map<ipv6::Prefix, unsigned> flips_;
+};
+
+}  // namespace v6h::apd

@@ -1,0 +1,161 @@
+#include "crowd/crowd.h"
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace v6h::crowd {
+
+using util::hash64;
+using util::hash_unit;
+
+namespace {
+
+// Paper-scale cohort sizes (Table 9); the crowd study is small enough
+// to simulate at full size regardless of --scale.
+constexpr std::size_t kMturkTotal = 5707;
+constexpr std::size_t kMturkV6 = 1787;
+constexpr std::size_t kProlificTotal = 1176;
+constexpr std::size_t kProlificV6 = 245;
+constexpr std::size_t kCrossPlatformDupes = 21;  // 6862 unique of 6883
+
+std::vector<std::uint32_t> isp_asns(const netsim::Universe& universe) {
+  std::set<std::uint32_t> asns;
+  for (const auto& zone : universe.zones()) {
+    if (zone.config().kind == netsim::ZoneKind::kIspCpe) {
+      asns.insert(zone.config().asn);
+    }
+  }
+  return {asns.begin(), asns.end()};
+}
+
+double sample_uptime_hours(std::uint64_t key) {
+  const double r = hash_unit(key, 0x0521);
+  const double u = hash_unit(key, 0x0522);
+  if (r < 0.19) return 0.05 + 0.9 * u;          // gone within the hour
+  if (r < 0.40) return 1.0 + 7.0 * u;           // a work session
+  if (r < 0.98) return 8.0 + 300.0 * u;         // dynamic, days-long
+  return 24.0 * 31.0 + 48.0 * u;                // static, whole month
+}
+
+}  // namespace
+
+CrowdStudy run_crowd_study(const netsim::Universe& universe) {
+  CrowdStudy study;
+  const auto asns = isp_asns(universe);
+  const std::uint64_t seed = hash64(universe.params().seed, 0xC70D);
+  const auto asn_at = [&](std::uint64_t h) {
+    return asns.empty() ? 0xFFFFu
+                        : asns[static_cast<std::size_t>(h % asns.size())];
+  };
+
+  auto add_cohort = [&](Platform platform, std::size_t total, std::size_t v6_count,
+                        std::uint32_t person_base) {
+    for (std::size_t i = 0; i < total; ++i) {
+      const std::uint64_t key = hash64(seed, static_cast<int>(platform), i);
+      Participant p;
+      p.platform = platform;
+      p.person = person_base + static_cast<std::uint32_t>(i);
+      p.asn4 = asn_at(hash64(key, 0x41));
+      p.country4 = static_cast<std::uint16_t>(hash64(key, 0x42) % 78);
+      p.has_ipv6 = i < v6_count;
+      if (p.has_ipv6) {
+        p.asn6 = asn_at(hash64(key, 0x43) % 97);
+        p.country6 = static_cast<std::uint16_t>(hash64(key, 0x44) % 46);
+        p.address6 =
+            ipv6::Address::from_u64(hash64(key, 0x45), hash64(key, 0x46));
+        p.responsive = hash_unit(key, 0x47) < 0.173;
+        if (p.responsive) p.uptime_hours = sample_uptime_hours(key);
+      }
+      study.participants.push_back(p);
+    }
+  };
+  add_cohort(Platform::kMturk, kMturkTotal, kMturkV6, 0);
+  add_cohort(Platform::kProlific, kProlificTotal, kProlificV6, 1000000);
+
+  // A few Prolific workers also answered on Mturk: same person, same
+  // IPv4-only connection.
+  for (std::size_t i = 0; i < kCrossPlatformDupes; ++i) {
+    auto& dupe = study.participants[kMturkTotal + kProlificV6 + i];
+    const auto& original = study.participants[kMturkV6 + i];
+    dupe.person = original.person;
+    dupe.asn4 = original.asn4;
+    dupe.country4 = original.country4;
+  }
+  return study;
+}
+
+CrowdStudy::PlatformStats CrowdStudy::stats(Platform platform) const {
+  PlatformStats stats;
+  std::set<std::uint32_t> ases4, ases6;
+  std::set<std::uint16_t> countries4, countries6;
+  for (const auto& p : participants) {
+    if (p.platform != platform) continue;
+    ++stats.ipv4;
+    ases4.insert(p.asn4);
+    countries4.insert(p.country4);
+    if (p.has_ipv6) {
+      ++stats.ipv6;
+      ases6.insert(p.asn6);
+      countries6.insert(p.country6);
+    }
+  }
+  stats.ases4 = ases4.size();
+  stats.ases6 = ases6.size();
+  stats.countries4 = countries4.size();
+  stats.countries6 = countries6.size();
+  return stats;
+}
+
+CrowdStudy::PlatformStats CrowdStudy::stats_union() const {
+  PlatformStats stats;
+  std::set<std::uint32_t> people, people6, ases4, ases6;
+  std::set<std::uint16_t> countries4, countries6;
+  for (const auto& p : participants) {
+    if (people.insert(p.person).second) ++stats.ipv4;
+    ases4.insert(p.asn4);
+    countries4.insert(p.country4);
+    if (p.has_ipv6 && people6.insert(p.person).second) {
+      ++stats.ipv6;
+      ases6.insert(p.asn6);
+      countries6.insert(p.country6);
+    }
+  }
+  stats.ases4 = ases4.size();
+  stats.ases6 = ases6.size();
+  stats.countries4 = countries4.size();
+  stats.countries6 = countries6.size();
+  return stats;
+}
+
+std::size_t CrowdStudy::responsive_count() const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.responsive;
+  return n;
+}
+
+std::vector<double> CrowdStudy::responsive_uptimes_hours() const {
+  std::vector<double> out;
+  for (const auto& p : participants) {
+    if (p.responsive) out.push_back(p.uptime_hours);
+  }
+  return out;
+}
+
+double atlas_response_upper_bound(const netsim::Universe& universe,
+                                  const CrowdStudy& study) {
+  std::set<std::uint32_t> study_asns;
+  for (const auto& p : study.participants) {
+    if (p.has_ipv6) study_asns.insert(p.asn6);
+  }
+  if (study_asns.empty()) return 0.0;
+  // Per-AS Atlas responsiveness is its own distribution; average the
+  // ASes the study actually reached.
+  double sum = 0.0;
+  for (const auto asn : study_asns) {
+    sum += 0.30 + 0.32 * hash_unit(universe.params().seed, asn, 0xA71A5);
+  }
+  return sum / static_cast<double>(study_asns.size());
+}
+
+}  // namespace v6h::crowd

@@ -1,0 +1,61 @@
+#pragma once
+
+// Crowdsourced client-address study (Section 9, Table 9): paid
+// platform participants visit the measurement page, exposing their
+// IPv4/IPv6 client addresses; responsive clients are re-probed for a
+// month to measure address uptime.
+
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "netsim/universe.h"
+
+namespace v6h::crowd {
+
+enum class Platform { kMturk, kProlific };
+
+struct Participant {
+  Platform platform = Platform::kMturk;
+  std::uint32_t person = 0;  // shared by cross-platform duplicates
+  bool has_ipv6 = false;
+  std::uint32_t asn4 = 0;
+  std::uint32_t asn6 = 0;
+  std::uint16_t country4 = 0;
+  std::uint16_t country6 = 0;
+  ipv6::Address address6;
+  bool responsive = false;
+  double uptime_hours = 0.0;
+};
+
+class CrowdStudy {
+ public:
+  struct PlatformStats {
+    std::size_t ipv4 = 0;
+    std::size_t ipv6 = 0;
+    std::size_t ases4 = 0;
+    std::size_t ases6 = 0;
+    std::size_t countries4 = 0;
+    std::size_t countries6 = 0;
+  };
+
+  PlatformStats stats(Platform platform) const;
+
+  /// Deduplicated across platforms (people do use both).
+  PlatformStats stats_union() const;
+
+  std::size_t responsive_count() const;
+
+  std::vector<double> responsive_uptimes_hours() const;
+
+  std::vector<Participant> participants;
+};
+
+CrowdStudy run_crowd_study(const netsim::Universe& universe);
+
+/// Upper bound on expected client responsiveness: the fraction of
+/// RIPE Atlas probes in the study's ASes that answer echoes.
+double atlas_response_upper_bound(const netsim::Universe& universe,
+                                  const CrowdStudy& study);
+
+}  // namespace v6h::crowd

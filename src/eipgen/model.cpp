@@ -1,0 +1,53 @@
+#include "eipgen/model.h"
+
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace v6h::eipgen {
+
+using ipv6::Address;
+
+EntropyIpModel EntropyIpModel::train(const std::vector<Address>& seeds) {
+  EntropyIpModel model;
+  if (seeds.empty()) return model;
+  for (unsigned i = 0; i < 32; ++i) {
+    std::array<std::uint64_t, 16> counts{};
+    for (const auto& a : seeds) ++counts[a.nybble(i)];
+    for (unsigned v = 0; v < 16; ++v) {
+      model.marginals_[i][v] =
+          static_cast<double>(counts[v]) / static_cast<double>(seeds.size());
+    }
+  }
+  for (const auto& a : seeds) {
+    model.seed_fingerprint_ = util::hash64(model.seed_fingerprint_, a.hi, a.lo);
+  }
+  return model;
+}
+
+std::vector<Address> EntropyIpModel::generate(std::size_t budget) const {
+  std::vector<Address> out;
+  std::unordered_set<Address, ipv6::AddressHash> seen;
+  util::Rng rng(util::hash64(seed_fingerprint_, 0xE1D, budget));
+  const std::size_t attempts = budget * 4;
+  for (std::size_t attempt = 0; attempt < attempts && out.size() < budget;
+       ++attempt) {
+    Address a;
+    for (unsigned i = 0; i < 32; ++i) {
+      double pick = rng.uniform_real();
+      unsigned value = 0;
+      for (unsigned v = 0; v < 16; ++v) {
+        pick -= marginals_[i][v];
+        if (pick <= 0.0) {
+          value = v;
+          break;
+        }
+      }
+      a = a.with_nybble(i, value);
+    }
+    if (seen.insert(a).second) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace v6h::eipgen

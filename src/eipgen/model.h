@@ -1,0 +1,27 @@
+#pragma once
+
+// Entropy/IP-style generative model (Section 7): learn per-nybble
+// value frequencies from seed addresses and sample new candidates
+// from the marginals.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+
+namespace v6h::eipgen {
+
+class EntropyIpModel {
+ public:
+  static EntropyIpModel train(const std::vector<ipv6::Address>& seeds);
+
+  /// Up to `budget` distinct addresses sampled from the model.
+  std::vector<ipv6::Address> generate(std::size_t budget) const;
+
+ private:
+  std::array<std::array<double, 16>, 32> marginals_{};
+  std::uint64_t seed_fingerprint_ = 0;
+};
+
+}  // namespace v6h::eipgen

@@ -1,0 +1,255 @@
+#include "entropy/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ipv6/prefix.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace v6h::entropy {
+
+using ipv6::Address;
+
+Fingerprint compute_fingerprint(const std::vector<Address>& addresses,
+                                NybbleRange range) {
+  Fingerprint fingerprint(range.size(), 0.0);
+  if (addresses.empty()) return fingerprint;
+  const double n = static_cast<double>(addresses.size());
+  const double log16 = std::log(16.0);
+  for (unsigned i = range.begin; i < range.end; ++i) {
+    unsigned counts[16] = {};
+    for (const auto& a : addresses) ++counts[a.nybble(i)];
+    double entropy = 0.0;
+    for (const unsigned c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / n;
+      entropy -= p * std::log(p);
+    }
+    fingerprint[i - range.begin] = entropy / log16;
+  }
+  return fingerprint;
+}
+
+namespace {
+
+double squared_distance(const Fingerprint& a, const Fingerprint& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<Fingerprint>& points, unsigned k,
+                    std::uint64_t seed) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  k = std::min<unsigned>(k, static_cast<unsigned>(points.size()));
+  const std::size_t dims = points.front().size();
+
+  // k-means++ style seeding: spread the initial centroids.
+  util::Rng rng(util::hash64(seed, 0x6B, points.size()));
+  result.centroids.push_back(points[rng.uniform(points.size())]);
+  while (result.centroids.size() < k) {
+    std::vector<double> best(points.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double d = squared_distance(points[i], result.centroids.front());
+      for (std::size_t c = 1; c < result.centroids.size(); ++c) {
+        d = std::min(d, squared_distance(points[i], result.centroids[c]));
+      }
+      best[i] = d;
+      total += d;
+    }
+    if (total <= 0.0) {
+      result.centroids.push_back(points[rng.uniform(points.size())]);
+      continue;
+    }
+    double pick = rng.uniform_real() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= best[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignment.assign(points.size(), 0);
+  for (unsigned iteration = 0; iteration < 60; ++iteration) {
+    bool moved = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      unsigned nearest = 0;
+      double nearest_d = squared_distance(points[i], result.centroids[0]);
+      for (unsigned c = 1; c < result.centroids.size(); ++c) {
+        const double d = squared_distance(points[i], result.centroids[c]);
+        if (d < nearest_d) {
+          nearest_d = d;
+          nearest = c;
+        }
+      }
+      if (result.assignment[i] != nearest) {
+        result.assignment[i] = nearest;
+        moved = true;
+      }
+    }
+    std::vector<Fingerprint> sums(result.centroids.size(), Fingerprint(dims, 0.0));
+    std::vector<std::size_t> sizes(result.centroids.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const unsigned c = result.assignment[i];
+      ++sizes[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (sizes[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(sizes[c]);
+      }
+    }
+    result.iterations = iteration + 1;
+    if (!moved && iteration > 0) break;
+  }
+
+  result.sse = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.sse += squared_distance(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+GroupFn group_by_slash32() {
+  return [](const Address& a) { return ipv6::Prefix(a, 32).to_string(); };
+}
+
+namespace {
+
+// Pick k at the elbow: the k whose point is farthest below the chord
+// from (1, sse_1) to (k_max, sse_max).
+unsigned pick_elbow(const std::vector<double>& sse_per_k) {
+  if (sse_per_k.size() < 2) return static_cast<unsigned>(sse_per_k.size());
+  const double x1 = 1.0, y1 = sse_per_k.front();
+  const double x2 = static_cast<double>(sse_per_k.size()), y2 = sse_per_k.back();
+  const double dx = x2 - x1, dy = y2 - y1;
+  const double norm = std::sqrt(dx * dx + dy * dy);
+  if (norm <= 0.0) return 1;
+  unsigned best_k = 1;
+  double best_distance = 0.0;
+  for (std::size_t i = 0; i < sse_per_k.size(); ++i) {
+    const double x = static_cast<double>(i + 1), y = sse_per_k[i];
+    const double distance = std::fabs(dy * x - dx * y + x2 * y1 - y2 * x1) / norm;
+    if (distance > best_distance) {
+      best_distance = distance;
+      best_k = static_cast<unsigned>(i + 1);
+    }
+  }
+  return best_k;
+}
+
+ClusterResult cluster_fingerprints(std::vector<NetworkFingerprint> networks,
+                                   const ClusteringOptions& options) {
+  ClusterResult result;
+  result.networks = std::move(networks);
+  if (result.networks.empty()) return result;
+
+  std::vector<Fingerprint> points;
+  points.reserve(result.networks.size());
+  for (const auto& network : result.networks) points.push_back(network.fingerprint);
+
+  const unsigned max_k = std::min<unsigned>(
+      options.max_k, static_cast<unsigned>(points.size()));
+  std::vector<KMeansResult> runs;
+  for (unsigned k = 1; k <= max_k; ++k) {
+    runs.push_back(kmeans(points, k, 0x5EED + k));
+    result.elbow.sse_per_k.push_back(runs.back().sse);
+  }
+  result.k = pick_elbow(result.elbow.sse_per_k);
+  const KMeansResult& chosen = runs[result.k - 1];
+
+  result.clusters.assign(result.k, {});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& cluster = result.clusters[chosen.assignment[i]];
+    cluster.members.push_back(i);
+    cluster.addresses += result.networks[i].address_count;
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.addresses > b.addresses;
+            });
+  result.clusters.erase(
+      std::remove_if(result.clusters.begin(), result.clusters.end(),
+                     [](const Cluster& c) { return c.members.empty(); }),
+      result.clusters.end());
+  result.k = static_cast<unsigned>(result.clusters.size());
+
+  const std::size_t dims = points.front().size();
+  for (auto& cluster : result.clusters) {
+    cluster.median_entropy.assign(dims, 0.0);
+    std::vector<double> column(cluster.members.size());
+    for (std::size_t d = 0; d < dims; ++d) {
+      for (std::size_t m = 0; m < cluster.members.size(); ++m) {
+        column[m] = points[cluster.members[m]][d];
+      }
+      std::nth_element(column.begin(), column.begin() + column.size() / 2,
+                       column.end());
+      cluster.median_entropy[d] = column[column.size() / 2];
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string ClusterResult::render() const {
+  util::TextTable table({"Cluster", "#networks", "addresses", "median entropy"});
+  std::size_t total = 0;
+  for (const auto& cluster : clusters) total += cluster.addresses;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const auto& cluster = clusters[c];
+    const double share = total == 0 ? 0.0
+                                    : static_cast<double>(cluster.addresses) /
+                                          static_cast<double>(total);
+    // Appends, not one a+b+c chain: GCC 12's -Wrestrict false
+    // positive on inlined string concatenation breaks -Werror builds.
+    std::string label = "#";
+    label += std::to_string(c + 1);
+    std::string popularity = std::to_string(cluster.addresses);
+    popularity += " (";
+    popularity += util::percent(share);
+    popularity += ")";
+    table.add_row({std::move(label), std::to_string(cluster.members.size()),
+                   std::move(popularity), util::sparkline(cluster.median_entropy)});
+  }
+  return table.to_string();
+}
+
+ClusterResult cluster_addresses(const std::vector<Address>& addresses,
+                                const GroupFn& group,
+                                const ClusteringOptions& options) {
+  std::map<std::string, std::vector<Address>> grouped;
+  for (const auto& a : addresses) grouped[group(a)].push_back(a);
+  return cluster_networks(grouped, options);
+}
+
+ClusterResult cluster_networks(
+    const std::map<std::string, std::vector<Address>>& networks,
+    const ClusteringOptions& options) {
+  std::vector<NetworkFingerprint> fingerprints;
+  for (const auto& [name, members] : networks) {
+    if (members.size() < options.min_addresses) continue;
+    NetworkFingerprint fp;
+    fp.network = name;
+    fp.address_count = members.size();
+    fp.fingerprint = compute_fingerprint(members, options.range);
+    fingerprints.push_back(std::move(fp));
+  }
+  return cluster_fingerprints(std::move(fingerprints), options);
+}
+
+}  // namespace v6h::entropy

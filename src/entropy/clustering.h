@@ -1,0 +1,91 @@
+#pragma once
+
+// Entropy fingerprints and k-means clustering of networks (Section 4,
+// Figures 2 and 3): per-nybble normalized Shannon entropy over a
+// network's addresses, clustered with k-means; k picked from the
+// elbow of the SSE curve.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ipv6/address.h"
+
+namespace v6h::entropy {
+
+using Fingerprint = std::vector<double>;
+
+/// Half-open nybble index range over the 32 address nybbles.
+struct NybbleRange {
+  unsigned begin = 8;
+  unsigned end = 32;
+  unsigned size() const { return end - begin; }
+};
+
+/// F9-32: everything below the /32 (paper's full-address fingerprint).
+inline constexpr NybbleRange kFullBelow32{8, 32};
+/// F17-32: the interface identifier only.
+inline constexpr NybbleRange kIidOnly{16, 32};
+
+/// Normalized per-nybble Shannon entropy (each component in [0, 1]).
+Fingerprint compute_fingerprint(const std::vector<ipv6::Address>& addresses,
+                                NybbleRange range);
+
+struct KMeansResult {
+  std::vector<unsigned> assignment;
+  std::vector<Fingerprint> centroids;
+  double sse = 0.0;
+  unsigned iterations = 0;
+};
+
+KMeansResult kmeans(const std::vector<Fingerprint>& points, unsigned k,
+                    std::uint64_t seed);
+
+struct ClusteringOptions {
+  NybbleRange range = kFullBelow32;
+  std::size_t min_addresses = 100;  // group gate, scaled by callers
+  unsigned max_k = 8;
+};
+
+struct NetworkFingerprint {
+  std::string network;
+  std::size_t address_count = 0;
+  Fingerprint fingerprint;
+};
+
+struct Cluster {
+  std::vector<std::size_t> members;  // indices into networks
+  std::size_t addresses = 0;
+  Fingerprint median_entropy;
+};
+
+struct ElbowCurve {
+  std::vector<double> sse_per_k;  // index i => k = i + 1
+};
+
+struct ClusterResult {
+  std::vector<NetworkFingerprint> networks;
+  std::vector<Cluster> clusters;  // popularity-descending
+  unsigned k = 0;
+  ElbowCurve elbow;
+
+  /// Text table: per-cluster popularity and median-entropy sparkline.
+  std::string render() const;
+};
+
+using GroupFn = std::function<std::string(const ipv6::Address&)>;
+
+/// Group addresses by their covering /32.
+GroupFn group_by_slash32();
+
+ClusterResult cluster_addresses(const std::vector<ipv6::Address>& addresses,
+                                const GroupFn& group,
+                                const ClusteringOptions& options);
+
+ClusterResult cluster_networks(
+    const std::map<std::string, std::vector<ipv6::Address>>& networks,
+    const ClusteringOptions& options);
+
+}  // namespace v6h::entropy

@@ -1,0 +1,102 @@
+#include "fingerprint/consistency.h"
+
+#include <cmath>
+
+#include "net/protocol.h"
+#include "util/rng.h"
+
+namespace v6h::fingerprint {
+
+using ipv6::Address;
+using ipv6::Prefix;
+
+namespace {
+
+constexpr unsigned kProbeSeqs[2] = {0, 50};  // ~ minutes apart
+
+Observation observe_one(netsim::NetworkSim& sim, const Address& a, int day) {
+  Observation obs;
+  obs.address = a;
+  for (int i = 0; i < 2; ++i) {
+    obs.replies[i] = sim.probe(a, net::Protocol::kTcp80, day, kProbeSeqs[i]);
+    obs.responded[i] = obs.replies[i].responded;
+    obs.times[i] = netsim::probe_time(day, kProbeSeqs[i]);
+  }
+  return obs;
+}
+
+}  // namespace
+
+std::vector<Observation> observe_prefix(netsim::NetworkSim& sim,
+                                        const Prefix& prefix, int day) {
+  std::vector<Observation> out;
+  out.reserve(16);
+  for (unsigned nybble = 0; nybble < 16; ++nybble) {
+    const Address a =
+        prefix.fanout_address(nybble, util::hash64(day, nybble, 0xF9));
+    out.push_back(observe_one(sim, a, day));
+  }
+  return out;
+}
+
+std::vector<Observation> observe_addresses(netsim::NetworkSim& sim,
+                                           const std::vector<Address>& addresses,
+                                           int day) {
+  std::vector<Observation> out;
+  out.reserve(addresses.size());
+  for (const auto& a : addresses) out.push_back(observe_one(sim, a, day));
+  return out;
+}
+
+ConsistencyReport evaluate_consistency(const std::vector<Observation>& observations) {
+  ConsistencyReport report;
+  bool first = true;
+  netsim::ProbeResult reference;
+  bool clock_first = true;
+  double reference_rate = 0.0, reference_offset = 0.0;
+  report.clocks_aligned = true;
+
+  for (const auto& obs : observations) {
+    if (!obs.responded[0] || !obs.responded[1]) continue;
+    ++report.responding_addresses;
+    const auto& r0 = obs.replies[0];
+    if (first) {
+      reference = r0;
+      first = false;
+    } else {
+      report.ittl_consistent &= r0.ittl == reference.ittl;
+      report.options_consistent &= r0.options_id == reference.options_id;
+      report.wscale_consistent &= r0.wscale == reference.wscale;
+      report.mss_consistent &= r0.mss == reference.mss;
+      report.wsize_consistent &= r0.wsize == reference.wsize;
+    }
+    // Per-flow window churn (TCP proxies) also counts as inconsistent.
+    report.wsize_consistent &= r0.wsize == obs.replies[1].wsize;
+
+    if (!r0.has_timestamp || !obs.replies[1].has_timestamp) continue;
+    ++report.timestamp_addresses;
+    const double dt = static_cast<double>(obs.times[1] - obs.times[0]);
+    if (dt <= 0.0) continue;
+    const double rate =
+        static_cast<double>(static_cast<std::uint32_t>(obs.replies[1].tsval -
+                                                       r0.tsval)) /
+        dt;
+    const double offset =
+        static_cast<double>(r0.tsval) - rate * static_cast<double>(obs.times[0]);
+    if (clock_first) {
+      reference_rate = rate;
+      reference_offset = offset;
+      clock_first = false;
+    } else {
+      const bool same_rate = std::fabs(rate - reference_rate) <=
+                             0.01 * std::max(1.0, reference_rate);
+      const bool same_offset =
+          std::fabs(offset - reference_offset) <= 3.0 * std::max(1.0, reference_rate);
+      report.clocks_aligned &= same_rate && same_offset;
+    }
+  }
+  if (clock_first) report.clocks_aligned = false;
+  return report;
+}
+
+}  // namespace v6h::fingerprint

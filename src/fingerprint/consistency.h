@@ -1,0 +1,68 @@
+#pragma once
+
+// Fingerprint-based verification that an aliased prefix is one
+// machine (Section 5.4, Tables 5/6): compare iTTL, TCP options,
+// window scale, MSS and window size across the 16 fan-out addresses,
+// then check whether the TCP timestamps of all addresses fall on a
+// single monotonic clock.
+
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+#include "netsim/network_sim.h"
+
+namespace v6h::fingerprint {
+
+struct Observation {
+  ipv6::Address address;
+  bool responded[2] = {false, false};
+  netsim::ProbeResult replies[2];
+  std::uint64_t times[2] = {0, 0};
+};
+
+/// Two TCP/80 probes (minutes apart) of each of the prefix's 16
+/// fan-out addresses.
+std::vector<Observation> observe_prefix(netsim::NetworkSim& sim,
+                                        const ipv6::Prefix& prefix, int day);
+
+/// Same probing scheme over explicit addresses (validation against
+/// dense non-aliased prefixes, Table 6).
+std::vector<Observation> observe_addresses(
+    netsim::NetworkSim& sim, const std::vector<ipv6::Address>& addresses, int day);
+
+enum class Verdict { kInconsistent, kConsistent, kIndecisive };
+
+struct ConsistencyReport {
+  std::size_t responding_addresses = 0;  // both probes answered
+  bool ittl_consistent = true;
+  bool options_consistent = true;
+  bool wscale_consistent = true;
+  bool mss_consistent = true;
+  bool wsize_consistent = true;
+  std::size_t timestamp_addresses = 0;
+  bool clocks_aligned = false;
+
+  bool any_metric_inconsistent() const {
+    return !ittl_consistent || !options_consistent || !wscale_consistent ||
+           !mss_consistent || !wsize_consistent;
+  }
+
+  /// True when enough addresses expose timestamps and they all fit one
+  /// clock (same rate, same offset).
+  bool timestamps_consistent() const {
+    return timestamp_addresses >= 2 &&
+           timestamp_addresses >= responding_addresses / 2 && clocks_aligned;
+  }
+
+  Verdict verdict() const {
+    if (any_metric_inconsistent()) return Verdict::kInconsistent;
+    if (timestamps_consistent()) return Verdict::kConsistent;
+    return Verdict::kIndecisive;
+  }
+};
+
+ConsistencyReport evaluate_consistency(const std::vector<Observation>& observations);
+
+}  // namespace v6h::fingerprint

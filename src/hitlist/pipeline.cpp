@@ -1,0 +1,60 @@
+#include "hitlist/pipeline.h"
+
+namespace v6h::hitlist {
+
+using ipv6::Address;
+using ipv6::Prefix;
+
+AliasFilter::AliasFilter(std::vector<Prefix> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  for (const auto& prefix : prefixes_) trie_.insert(prefix, true);
+}
+
+Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
+                   PipelineOptions options)
+    : universe_(&universe),
+      options_(std::move(options)),
+      sources_(universe, sim),
+      detector_(sim, options_.apd),
+      scanner_(sim) {}
+
+Pipeline::DayReport Pipeline::run_day(int day) {
+  DayReport report;
+  report.day = day;
+
+  // 1. Collect: every source contributes its day-`day` snapshot; the
+  // scamper source traceroutes toward the hitlist so far.
+  for (const auto source : netsim::kAllSources) {
+    const auto result = source == netsim::SourceId::kScamper
+                            ? sources_.collect(source, day, targets_)
+                            : sources_.collect(source, day);
+    for (const auto& a : result.new_addresses) {
+      if (seen_.insert(a).second) {
+        targets_.push_back(a);
+        ++report.new_addresses;
+      }
+    }
+  }
+
+  // 2. APD over the multi-level candidates of the current hitlist.
+  const auto candidates = detector_.candidate_prefixes(targets_);
+  detector_.run_day_on_prefixes(candidates, day);
+  const AliasFilter filter = alias_filter();
+  report.aliased_prefixes = filter.prefixes().size();
+
+  // 3. Scan everything not inside detected aliased space.
+  std::vector<Address> scan_targets;
+  scan_targets.reserve(targets_.size());
+  for (const auto& a : targets_) {
+    if (!filter.is_aliased(a)) scan_targets.push_back(a);
+  }
+  report.scanned_targets = scan_targets.size();
+  report.scan = scanner_.scan(scan_targets, day, options_.scan);
+  return report;
+}
+
+AliasFilter Pipeline::alias_filter() const {
+  return AliasFilter(detector_.current_aliased());
+}
+
+}  // namespace v6h::hitlist

@@ -1,0 +1,80 @@
+#pragma once
+
+// The daily hitlist pipeline of the paper: collect from all sources,
+// run APD over the candidate prefixes, then scan the de-aliased
+// targets across the protocol set.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "apd/apd.h"
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+#include "ipv6/trie.h"
+#include "netsim/network_sim.h"
+#include "netsim/universe.h"
+#include "probe/scanner.h"
+#include "sources/sources.h"
+
+namespace v6h::hitlist {
+
+struct PipelineOptions {
+  probe::ScanOptions scan;
+  apd::ApdOptions apd;
+};
+
+/// Value-type snapshot of the APD verdicts; cheap to copy around the
+/// bench analyses.
+class AliasFilter {
+ public:
+  AliasFilter() = default;
+  explicit AliasFilter(std::vector<ipv6::Prefix> prefixes);
+
+  bool is_aliased(const ipv6::Address& a) const {
+    return !trie_.empty() && trie_.longest_match(a) != nullptr;
+  }
+
+  const std::vector<ipv6::Prefix>& prefixes() const { return prefixes_; }
+
+ private:
+  std::vector<ipv6::Prefix> prefixes_;
+  ipv6::PrefixTrie<bool> trie_;
+};
+
+class Pipeline {
+ public:
+  Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
+           PipelineOptions options = {});
+
+  struct DayReport {
+    int day = -1;
+    std::size_t new_addresses = 0;
+    std::size_t aliased_prefixes = 0;
+    std::size_t scanned_targets = 0;
+    probe::ScanReport scan;
+  };
+
+  /// One daily cycle at `day`: collect -> APD -> scan.
+  DayReport run_day(int day);
+
+  /// Cumulative hitlist (pre-APD, deduplicated, insertion order).
+  const std::vector<ipv6::Address>& targets() const { return targets_; }
+
+  AliasFilter alias_filter() const;
+
+  sources::SourceSimulator& source_simulator() { return sources_; }
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const netsim::Universe* universe_;
+  PipelineOptions options_;
+  sources::SourceSimulator sources_;
+  apd::AliasDetector detector_;
+  probe::Scanner scanner_;
+  std::vector<ipv6::Address> targets_;
+  std::unordered_set<ipv6::Address, ipv6::AddressHash> seen_;
+};
+
+}  // namespace v6h::hitlist

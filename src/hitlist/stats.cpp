@@ -1,0 +1,39 @@
+#include "hitlist/stats.h"
+
+namespace v6h::hitlist {
+
+util::Counter<std::uint32_t> as_counter(const std::vector<ipv6::Address>& addresses,
+                                        const netsim::BgpTable& bgp) {
+  util::Counter<std::uint32_t> counter;
+  for (const auto& a : addresses) {
+    const std::uint32_t asn = bgp.origin_as(a);
+    if (asn != 0) counter.add(asn);
+  }
+  return counter;
+}
+
+util::Counter<ipv6::Prefix> prefix_counter(
+    const std::vector<ipv6::Address>& addresses, const netsim::BgpTable& bgp) {
+  util::Counter<ipv6::Prefix> counter;
+  for (const auto& a : addresses) {
+    if (const auto* announcement = bgp.lookup(a)) {
+      counter.add(announcement->prefix);
+    }
+  }
+  return counter;
+}
+
+DistributionSummary summarize_distribution(
+    const std::vector<ipv6::Address>& addresses, const netsim::BgpTable& bgp) {
+  DistributionSummary summary;
+  summary.addresses = addresses.size();
+  const auto by_as = as_counter(addresses, bgp);
+  const auto by_prefix = prefix_counter(addresses, bgp);
+  summary.ases = by_as.distinct();
+  summary.prefixes = by_prefix.distinct();
+  summary.as_curve = util::top_group_curve(by_as.values());
+  summary.prefix_curve = util::top_group_curve(by_prefix.values());
+  return summary;
+}
+
+}  // namespace v6h::hitlist

@@ -1,0 +1,36 @@
+#pragma once
+
+// Per-AS / per-prefix tallies and the distribution summaries behind
+// Figures 1b, 4, 6, 9 and 10.
+
+#include <vector>
+
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+#include "netsim/universe.h"
+#include "util/counter.h"
+#include "util/math.h"
+#include "util/strings.h"
+
+namespace v6h::hitlist {
+
+/// Addresses tallied by origin AS (unrouted addresses are skipped).
+util::Counter<std::uint32_t> as_counter(const std::vector<ipv6::Address>& addresses,
+                                        const netsim::BgpTable& bgp);
+
+/// Addresses tallied by covering announced prefix.
+util::Counter<ipv6::Prefix> prefix_counter(
+    const std::vector<ipv6::Address>& addresses, const netsim::BgpTable& bgp);
+
+struct DistributionSummary {
+  std::size_t addresses = 0;
+  std::size_t ases = 0;
+  std::size_t prefixes = 0;
+  std::vector<double> as_curve;      // top-group concentration curves
+  std::vector<double> prefix_curve;
+};
+
+DistributionSummary summarize_distribution(
+    const std::vector<ipv6::Address>& addresses, const netsim::BgpTable& bgp);
+
+}  // namespace v6h::hitlist

@@ -1,0 +1,145 @@
+#include "ipv6/address.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace v6h::ipv6 {
+
+namespace {
+
+bool parse_hex_group(std::string_view text, std::uint16_t* out) {
+  if (text.empty() || text.size() > 4) return false;
+  std::uint32_t value = 0;
+  for (const char ch : text) {
+    std::uint32_t digit = 0;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      digit = static_cast<std::uint32_t>(ch - 'A' + 10);
+    } else {
+      return false;
+    }
+    value = value * 16 + digit;
+  }
+  *out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+// Split on ':' without collapsing; "::" yields an empty token.
+std::vector<std::string_view> split_groups(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(':', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::optional<Address> Address::parse(std::string_view text) {
+  if (text.size() < 2) return std::nullopt;
+  if (text == "::") return Address{};
+  auto tokens = split_groups(text);
+  // Locate the "::" gap: exactly one run of an empty token (two at the
+  // edges, e.g. "::1" tokenizes as ["", "", "1"]).
+  int gap = -1;
+  std::vector<std::string_view> groups;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (!tokens[i].empty()) {
+      groups.push_back(tokens[i]);
+      continue;
+    }
+    const bool edge_pair = (i + 1 < tokens.size() && tokens[i + 1].empty() &&
+                            (i == 0 || i + 2 == tokens.size()));
+    // An empty token at either edge must be half of a real "::"; a
+    // lone leading or trailing ':' is malformed (":1::" etc.).
+    if (i == 0 && !edge_pair) return std::nullopt;
+    if (i + 1 == tokens.size()) return std::nullopt;  // trailing single ':'
+    if (gap == -1) {
+      gap = static_cast<int>(groups.size());
+      if (edge_pair) ++i;  // swallow the twin empty token of a leading/trailing "::"
+    } else {
+      return std::nullopt;  // second "::"
+    }
+  }
+  if (gap == -1 && groups.size() != 8) return std::nullopt;
+  if (gap != -1 && groups.size() >= 8) return std::nullopt;
+
+  std::uint16_t parsed[8] = {};
+  const std::size_t tail = groups.size() - static_cast<std::size_t>(gap == -1 ? 0 : gap);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    std::uint16_t value = 0;
+    if (!parse_hex_group(groups[i], &value)) return std::nullopt;
+    const std::size_t slot = (gap != -1 && i >= static_cast<std::size_t>(gap))
+                                 ? 8 - tail + (i - static_cast<std::size_t>(gap))
+                                 : i;
+    parsed[slot] = value;
+  }
+  Address out;
+  for (unsigned i = 0; i < 4; ++i) {
+    out.hi = (out.hi << 16) | parsed[i];
+  }
+  for (unsigned i = 4; i < 8; ++i) {
+    out.lo = (out.lo << 16) | parsed[i];
+  }
+  return out;
+}
+
+std::string Address::to_string() const {
+  std::uint16_t groups[8];
+  for (unsigned i = 0; i < 8; ++i) groups[i] = group(i);
+
+  // Longest run of zero groups (length >= 2) wins; earliest on tie.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    char buffer[8];
+    std::sprintf(buffer, "%x", groups[i]);
+    out += buffer;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Address must_parse(std::string_view text) {
+  const auto parsed = Address::parse(text);
+  if (!parsed) {
+    std::fprintf(stderr, "must_parse: bad IPv6 literal '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *parsed;
+}
+
+}  // namespace v6h::ipv6

@@ -1,0 +1,74 @@
+#pragma once
+
+// 128-bit IPv6 address value type: two big-endian 64-bit halves with
+// RFC 5952 formatting and nybble accessors for the entropy pipeline.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6h::ipv6 {
+
+struct Address {
+  std::uint64_t hi = 0;  // network-order bits 0..63 (bit 0 = MSB)
+  std::uint64_t lo = 0;  // bits 64..127 (the interface identifier)
+
+  static Address from_u64(std::uint64_t hi, std::uint64_t lo) { return {hi, lo}; }
+
+  /// Parse "2001:db8::1" style text; std::nullopt on malformed input.
+  static std::optional<Address> parse(std::string_view text);
+
+  /// RFC 5952 canonical text: lowercase, longest zero run compressed.
+  std::string to_string() const;
+
+  /// 4-bit slice, index 0 = most significant nybble, 31 = least.
+  unsigned nybble(unsigned index) const {
+    return index < 16 ? static_cast<unsigned>((hi >> ((15 - index) * 4)) & 0xf)
+                      : static_cast<unsigned>((lo >> ((31 - index) * 4)) & 0xf);
+  }
+
+  Address with_nybble(unsigned index, unsigned value) const {
+    Address out = *this;
+    if (index < 16) {
+      const unsigned shift = (15 - index) * 4;
+      out.hi = (hi & ~(0xfULL << shift)) | (static_cast<std::uint64_t>(value & 0xf) << shift);
+    } else {
+      const unsigned shift = (31 - index) * 4;
+      out.lo = (lo & ~(0xfULL << shift)) | (static_cast<std::uint64_t>(value & 0xf) << shift);
+    }
+    return out;
+  }
+
+  /// 16-bit group, index 0..7 as written in the textual form.
+  std::uint16_t group(unsigned index) const {
+    return index < 4 ? static_cast<std::uint16_t>(hi >> ((3 - index) * 16))
+                     : static_cast<std::uint16_t>(lo >> ((7 - index) * 16));
+  }
+
+  bool bit(unsigned index) const {
+    return index < 64 ? ((hi >> (63 - index)) & 1) != 0
+                      : ((lo >> (127 - index)) & 1) != 0;
+  }
+
+  friend bool operator==(const Address& a, const Address& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Address& a, const Address& b) { return !(a == b); }
+  friend bool operator<(const Address& a, const Address& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// Parse or abort; for literals in benches and tests.
+Address must_parse(std::string_view text);
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const {
+    std::uint64_t h = a.hi * 0x9e3779b97f4a7c15ULL;
+    h ^= (a.lo + 0x517cc1b727220a95ULL + (h << 6) + (h >> 2));
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+}  // namespace v6h::ipv6

@@ -1,0 +1,33 @@
+#pragma once
+
+// Interface-identifier heuristics used for the "server-likeness"
+// analyses (Section 8): SLAAC EUI-64 detection and IID density.
+
+#include <bit>
+#include <cstdint>
+
+#include "ipv6/address.h"
+
+namespace v6h::ipv6 {
+
+/// True when the IID carries the ff:fe EUI-64 marker in bytes 3-4.
+inline bool has_eui64_marker(const Address& a) {
+  return ((a.lo >> 24) & 0xffff) == 0xfffe;
+}
+
+/// Number of set bits in the interface identifier; low weight means a
+/// counter-style, human-assigned address.
+inline unsigned iid_hamming_weight(const Address& a) {
+  return static_cast<unsigned>(std::popcount(a.lo));
+}
+
+/// True when all IID nybbles are below 10 (no hex letters) — the
+/// decimal-looking addresses common for manually numbered servers.
+inline bool iid_is_decimal_looking(const Address& a) {
+  for (unsigned i = 16; i < 32; ++i) {
+    if (a.nybble(i) >= 10) return false;
+  }
+  return true;
+}
+
+}  // namespace v6h::ipv6

@@ -1,0 +1,55 @@
+#pragma once
+
+// The five probe protocols of the paper's scans (Section 6) and the
+// bitmask plumbing shared by the simulator and the scanner.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace v6h::net {
+
+enum class Protocol : std::uint8_t {
+  kIcmp = 0,
+  kTcp80 = 1,
+  kTcp443 = 2,
+  kUdp53 = 3,
+  kUdp443 = 4,  // QUIC
+};
+
+inline constexpr std::size_t kProtocolCount = 5;
+
+inline constexpr std::array<Protocol, kProtocolCount> kAllProtocols{
+    Protocol::kIcmp, Protocol::kTcp80, Protocol::kTcp443, Protocol::kUdp53,
+    Protocol::kUdp443};
+
+constexpr std::size_t index_of(Protocol p) { return static_cast<std::size_t>(p); }
+
+using ProtocolMask = std::uint8_t;
+
+constexpr ProtocolMask mask_of(Protocol p) {
+  return static_cast<ProtocolMask>(1u << index_of(p));
+}
+
+inline constexpr ProtocolMask kAllProtocolsMask = 0x1f;
+
+constexpr bool responds_to(ProtocolMask service_mask, Protocol p) {
+  return (service_mask & mask_of(p)) != 0;
+}
+
+constexpr bool is_tcp(Protocol p) {
+  return p == Protocol::kTcp80 || p == Protocol::kTcp443;
+}
+
+constexpr const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kIcmp: return "ICMP";
+    case Protocol::kTcp80: return "TCP/80";
+    case Protocol::kTcp443: return "TCP/443";
+    case Protocol::kUdp53: return "UDP/53";
+    case Protocol::kUdp443: return "UDP/443";
+  }
+  return "?";
+}
+
+}  // namespace v6h::net

@@ -1,0 +1,146 @@
+#include "netsim/network_sim.h"
+
+#include "util/rng.h"
+
+namespace v6h::netsim {
+
+using ipv6::Address;
+using util::hash64;
+using util::hash_unit;
+
+namespace {
+
+constexpr std::uint8_t kIttls[] = {64, 64, 64, 128, 255};
+constexpr std::uint8_t kWscales[] = {0, 2, 7, 8, 14};
+constexpr std::uint16_t kMsses[] = {1220, 1380, 1440, 8940};
+constexpr std::uint16_t kWsizes[] = {14600, 28800, 29200, 64240, 65535};
+
+// Fill the machine-image fields (everything but `responded`/`ttl`)
+// from a stable machine identity.
+void fill_machine(std::uint64_t machine, bool timestamps, std::uint64_t t,
+                  ProbeResult* out) {
+  out->ittl = kIttls[hash64(machine, 0x17) % 5];
+  out->wscale = kWscales[hash64(machine, 0x2C) % 5];
+  out->mss = kMsses[hash64(machine, 0x35) % 4];
+  out->wsize = kWsizes[hash64(machine, 0x47) % 5];
+  out->options_id = static_cast<std::uint8_t>(hash64(machine, 0x59) % 6);
+  out->has_timestamp = timestamps;
+  if (timestamps) {
+    static constexpr std::uint32_t kHz[] = {100, 250, 1000};
+    const std::uint32_t hz = kHz[hash64(machine, 0x63) % 3];
+    const auto offset = static_cast<std::uint32_t>(hash64(machine, 0x71));
+    out->tsval = offset + hz * static_cast<std::uint32_t>(t);
+  }
+}
+
+// Per-day transient availability shared across protocols so that
+// cross-protocol responsiveness stays correlated (Figure 7).
+bool host_transient_up(const Zone& zone, std::uint32_t slot, int day) {
+  double stability = 0.98;
+  switch (zone.config().kind) {
+    case ZoneKind::kNodes: stability = 0.90; break;
+    case ZoneKind::kIspCpe: stability = 0.90; break;
+    case ZoneKind::kAtlasProbe: stability = 0.97; break;
+    default: break;
+  }
+  return hash_unit(zone.key(), slot, 0xDA1ULL * 131 + static_cast<unsigned>(day)) <
+         stability;
+}
+
+// Bitnodes-style permanent churn: node populations turn over within
+// weeks (Figure 8's ~80 % 14-day retention).
+bool node_alive(const Zone& zone, std::uint32_t slot, int day) {
+  if (zone.config().kind != ZoneKind::kNodes) return true;
+  return hash_unit(zone.key(), slot, 0xB17 + static_cast<unsigned>(day / 7)) < 0.82;
+}
+
+// Which of the zone's machine services this particular host runs.
+net::ProtocolMask host_service_mask(const Zone& zone, std::uint32_t slot) {
+  const net::ProtocolMask zone_mask = zone.config().machine_service;
+  net::ProtocolMask mask = 0;
+  for (const auto protocol : net::kAllProtocols) {
+    if (!net::responds_to(zone_mask, protocol)) continue;
+    double support = 1.0;
+    switch (protocol) {
+      case net::Protocol::kIcmp: support = 0.97; break;
+      case net::Protocol::kTcp80: support = 0.90; break;
+      case net::Protocol::kTcp443: support = 0.80; break;
+      case net::Protocol::kUdp53: support = 0.95; break;
+      case net::Protocol::kUdp443: support = 0.35; break;
+    }
+    if (hash_unit(zone.key(), slot, 0x5E00 + net::index_of(protocol)) < support) {
+      mask |= net::mask_of(protocol);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+ProbeResult NetworkSim::probe(const Address& a, net::Protocol protocol, int day,
+                              unsigned seq) {
+  ++probes_sent_;
+  ProbeResult out;
+  const Zone* zone = universe_->zone_at(a);
+  if (zone == nullptr) return out;
+  const ZoneConfig& config = zone->config();
+  const std::uint64_t addr_hash = hash64(a.hi, a.lo, 0xAD);
+  const std::uint64_t t = probe_time(day, seq);
+
+  const bool aliased_here =
+      config.aliased && !(config.carveout && config.carveout->contains(a));
+  if (aliased_here) {
+    if (!net::responds_to(config.machine_service, protocol)) return out;
+    if (config.loss > 0.0 &&
+        hash_unit(zone->key(), addr_hash,
+                  hash64(day, seq, net::index_of(protocol))) < config.loss) {
+      return out;
+    }
+    if (config.quic_flaky && protocol == net::Protocol::kUdp443) {
+      const double rate = 0.60 + 0.35 * hash_unit(zone->key(), 0xF1A, day);
+      if (hash_unit(zone->key(), addr_hash, 0xF1B + static_cast<unsigned>(day)) >=
+          rate) {
+        return out;
+      }
+    }
+    out.responded = true;
+    fill_machine(zone->key(), config.uniformity != UniformityMode::kUniformNoTs, t,
+                 &out);
+    if (config.proxy_wsize) {
+      // A TCP proxy terminates each flow with its own window.
+      out.wsize = static_cast<std::uint16_t>(
+          14600 + 1460 * (hash64(addr_hash, 0x90) % 8));
+    }
+    // Path length varies behind ~30 % of aliased prefixes (the raw-TTL
+    // inconsistency the iTTL normalization removes).
+    unsigned hops = 6 + static_cast<unsigned>(hash64(zone->key(), 0xB0) % 18);
+    if (hash_unit(zone->key(), 0xB1) < 0.3 && (addr_hash & 1) != 0) ++hops;
+    out.ttl = static_cast<std::uint8_t>(out.ittl - hops);
+    return out;
+  }
+
+  const auto slot = zone->slot_of(a, day);
+  if (!slot || *slot >= config.host_count) return out;
+  if (!net::responds_to(host_service_mask(*zone, *slot), protocol)) return out;
+  if (!host_transient_up(*zone, *slot, day)) return out;
+  if (!node_alive(*zone, *slot, day)) return out;
+  if (config.quic_flaky && protocol == net::Protocol::kUdp443) {
+    const double rate = 0.60 + 0.35 * hash_unit(zone->key(), 0xF1A, day);
+    if (hash_unit(zone->key(), *slot, 0xF1C + static_cast<unsigned>(day)) >= rate) {
+      return out;
+    }
+  }
+
+  out.responded = true;
+  const bool uniform = config.uniformity != UniformityMode::kDiverse;
+  const std::uint64_t machine =
+      uniform ? zone->key() : hash64(zone->key(), *slot, 0x3A);
+  const bool timestamps = config.uniformity != UniformityMode::kUniformNoTs;
+  fill_machine(machine, timestamps, t, &out);
+  unsigned hops = 6 + static_cast<unsigned>(hash64(zone->key(), 0xB0) % 18);
+  if (!uniform) hops += static_cast<unsigned>(hash64(zone->key(), *slot, 0xB2) % 3);
+  out.ttl = static_cast<std::uint8_t>(out.ittl - hops);
+  return out;
+}
+
+}  // namespace v6h::netsim

@@ -1,0 +1,51 @@
+#pragma once
+
+// The simulated wire: deterministic probe responses with the TCP
+// fingerprint surface (iTTL, options, wscale, MSS, wsize, timestamps)
+// the alias-resolution analyses of Section 5.4 need.
+
+#include <cstdint>
+
+#include "ipv6/address.h"
+#include "net/protocol.h"
+#include "netsim/universe.h"
+
+namespace v6h::netsim {
+
+struct ProbeResult {
+  bool responded = false;
+  std::uint8_t ttl = 0;   // hop-decremented TTL as observed
+  std::uint8_t ittl = 0;  // inferred initial TTL (64/128/255)
+  std::uint8_t wscale = 0;
+  std::uint16_t mss = 0;
+  std::uint16_t wsize = 0;
+  std::uint8_t options_id = 0;  // options-text equivalence class
+  bool has_timestamp = false;
+  std::uint32_t tsval = 0;
+};
+
+/// Abstract probe time used for the timestamp clocks: two probes of
+/// the same day with different `seq` are minutes apart.
+inline std::uint64_t probe_time(int day, unsigned seq) {
+  return static_cast<std::uint64_t>(day) * 1000 + static_cast<std::uint64_t>(seq) * 10;
+}
+
+class NetworkSim {
+ public:
+  explicit NetworkSim(const Universe& universe) : universe_(&universe) {}
+
+  /// One probe of `a` with `protocol` at (day, seq). Deterministic in
+  /// all arguments plus the universe params.
+  ProbeResult probe(const ipv6::Address& a, net::Protocol protocol, int day,
+                    unsigned seq = 0);
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+  const Universe& universe() const { return *universe_; }
+
+ private:
+  const Universe* universe_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace v6h::netsim

@@ -1,0 +1,50 @@
+#pragma once
+
+// The seven hitlist sources of Table 2.
+
+#include <array>
+
+namespace v6h::netsim {
+
+enum class SourceId {
+  kDomainLists,
+  kFdns,
+  kCt,
+  kAxfr,
+  kBitnodes,
+  kRipeAtlas,
+  kScamper,
+};
+
+inline constexpr std::array<SourceId, 7> kAllSources{
+    SourceId::kDomainLists, SourceId::kFdns,      SourceId::kCt,
+    SourceId::kAxfr,        SourceId::kBitnodes,  SourceId::kRipeAtlas,
+    SourceId::kScamper};
+
+constexpr const char* to_string(SourceId s) {
+  switch (s) {
+    case SourceId::kDomainLists: return "Domainlists";
+    case SourceId::kFdns: return "FDNS";
+    case SourceId::kCt: return "CT";
+    case SourceId::kAxfr: return "AXFR";
+    case SourceId::kBitnodes: return "Bitnodes";
+    case SourceId::kRipeAtlas: return "RIPE Atlas";
+    case SourceId::kScamper: return "scamper";
+  }
+  return "?";
+}
+
+constexpr const char* short_name(SourceId s) {
+  switch (s) {
+    case SourceId::kDomainLists: return "DL";
+    case SourceId::kFdns: return "FDNS";
+    case SourceId::kCt: return "CT";
+    case SourceId::kAxfr: return "AXFR";
+    case SourceId::kBitnodes: return "BIT";
+    case SourceId::kRipeAtlas: return "RA";
+    case SourceId::kScamper: return "scamp";
+  }
+  return "?";
+}
+
+}  // namespace v6h::netsim

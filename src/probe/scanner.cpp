@@ -1,0 +1,48 @@
+#include "probe/scanner.h"
+
+namespace v6h::probe {
+
+ScanReport Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
+                         const ScanOptions& options) {
+  ScanReport report;
+  report.day = day;
+  report.targets.reserve(targets.size());
+  for (const auto& address : targets) {
+    TargetResult result;
+    result.address = address;
+    for (const auto protocol : options.protocols) {
+      if (sim_->probe(address, protocol, day, 0).responded) {
+        result.responded_mask |= net::mask_of(protocol);
+      }
+    }
+    report.targets.push_back(result);
+  }
+  return report;
+}
+
+std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount>
+conditional_responsiveness(const std::vector<TargetResult>& targets) {
+  std::array<std::array<std::uint64_t, net::kProtocolCount>, net::kProtocolCount>
+      joint{};
+  std::array<std::uint64_t, net::kProtocolCount> marginal{};
+  for (const auto& t : targets) {
+    for (std::size_t x = 0; x < net::kProtocolCount; ++x) {
+      if (!t.responded(net::kAllProtocols[x])) continue;
+      ++marginal[x];
+      for (std::size_t y = 0; y < net::kProtocolCount; ++y) {
+        joint[y][x] += t.responded(net::kAllProtocols[y]);
+      }
+    }
+  }
+  std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount> out{};
+  for (std::size_t y = 0; y < net::kProtocolCount; ++y) {
+    for (std::size_t x = 0; x < net::kProtocolCount; ++x) {
+      out[y][x] = marginal[x] == 0 ? 0.0
+                                   : static_cast<double>(joint[y][x]) /
+                                         static_cast<double>(marginal[x]);
+    }
+  }
+  return out;
+}
+
+}  // namespace v6h::probe

@@ -1,0 +1,66 @@
+#pragma once
+
+// The scan layer of Section 6: probe targets across the five
+// protocols and tally per-target response masks.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "net/protocol.h"
+#include "netsim/network_sim.h"
+
+namespace v6h::probe {
+
+struct ScanOptions {
+  std::vector<net::Protocol> protocols{net::kAllProtocols.begin(),
+                                       net::kAllProtocols.end()};
+};
+
+struct TargetResult {
+  ipv6::Address address;
+  net::ProtocolMask responded_mask = 0;
+
+  bool responded(net::Protocol p) const {
+    return net::responds_to(responded_mask, p);
+  }
+  bool responded_any() const { return responded_mask != 0; }
+};
+
+struct ScanReport {
+  int day = -1;
+  std::vector<TargetResult> targets;
+
+  std::size_t responsive_count(net::Protocol p) const {
+    std::size_t n = 0;
+    for (const auto& t : targets) n += t.responded(p);
+    return n;
+  }
+  std::size_t responsive_any_count() const {
+    std::size_t n = 0;
+    for (const auto& t : targets) n += t.responded_any();
+    return n;
+  }
+};
+
+class Scanner {
+ public:
+  explicit Scanner(netsim::NetworkSim& sim) : sim_(&sim) {}
+
+  netsim::ProbeResult probe_once(const ipv6::Address& a, net::Protocol p, int day) {
+    return sim_->probe(a, p, day, 0);
+  }
+
+  ScanReport scan(const std::vector<ipv6::Address>& targets, int day,
+                  const ScanOptions& options = {});
+
+ private:
+  netsim::NetworkSim* sim_;
+};
+
+/// Figure 7: matrix[y][x] = Pr[protocol y responded | protocol x responded].
+std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount>
+conditional_responsiveness(const std::vector<TargetResult>& targets);
+
+}  // namespace v6h::probe

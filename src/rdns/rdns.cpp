@@ -1,0 +1,37 @@
+#include "rdns/rdns.h"
+
+#include <algorithm>
+
+namespace v6h::rdns {
+
+RdnsTree RdnsTree::build(const netsim::Universe& universe) {
+  RdnsTree tree;
+  const auto& zones = universe.zones();
+  for (std::uint32_t z = 0; z < zones.size(); ++z) {
+    const auto& config = zones[z].config();
+    if (!config.rdns || config.aliased) continue;
+    // PTR coverage goes beyond what the hitlist sources happened to
+    // find: a slice of the whole discoverable plan.
+    const std::uint32_t records =
+        std::max<std::uint32_t>(1, config.discoverable * 3 / 10);
+    tree.entries_.push_back({z, records});
+  }
+  return tree;
+}
+
+WalkResult walk_rdns(const RdnsTree& tree, const netsim::Universe& universe) {
+  WalkResult result;
+  const auto& zones = universe.zones();
+  for (const auto& entry : tree.entries()) {
+    const auto& zone = zones[entry.zone_index];
+    for (std::uint32_t i = 0; i < entry.record_count; ++i) {
+      result.addresses.push_back(zone.discoverable_address(i, 0));
+    }
+    // Descending the nybble tree: ~2 queries per terminal (PTR +
+    // NXDOMAIN siblings) plus the zone's interior nodes.
+    result.queries += static_cast<std::uint64_t>(entry.record_count) * 2 + 32;
+  }
+  return result;
+}
+
+}  // namespace v6h::rdns

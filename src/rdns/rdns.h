@@ -1,0 +1,39 @@
+#pragma once
+
+// Simulated ip6.arpa reverse-DNS walking (Section 8): zones that
+// maintain PTR records expose their address plans to an NXDOMAIN-
+// driven tree walk.
+
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "netsim/universe.h"
+
+namespace v6h::rdns {
+
+class RdnsTree {
+ public:
+  struct Entry {
+    std::uint32_t zone_index = 0;
+    std::uint32_t record_count = 0;
+  };
+
+  static RdnsTree build(const netsim::Universe& universe);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+struct WalkResult {
+  std::vector<ipv6::Address> addresses;
+  std::uint64_t queries = 0;
+};
+
+/// Walk the tree: every populated zone is enumerated; query cost
+/// models the nybble-tree descent (non-terminal nodes + NXDOMANs).
+WalkResult walk_rdns(const RdnsTree& tree, const netsim::Universe& universe);
+
+}  // namespace v6h::rdns

@@ -1,0 +1,53 @@
+#include "sixgen/sixgen.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "ipv6/prefix.h"
+
+namespace v6h::sixgen {
+
+using ipv6::Address;
+using ipv6::Prefix;
+
+SixGenResult sixgen_generate(const std::vector<Address>& seeds,
+                             const SixGenOptions& options) {
+  SixGenResult result;
+  if (seeds.empty() || options.budget == 0) return result;
+
+  // Cluster seeds by /64; densest clusters get the generation budget.
+  std::map<Prefix, std::vector<std::uint64_t>> clusters;
+  for (const auto& seed : seeds) {
+    clusters[Prefix(seed, 64)].push_back(seed.lo);
+  }
+  std::vector<std::pair<Prefix, std::vector<std::uint64_t>>> ranked(
+      clusters.begin(), clusters.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.size() > b.second.size();
+  });
+
+  std::unordered_set<Address, ipv6::AddressHash> seen(seeds.begin(), seeds.end());
+  // Proportional budget, at least the seeds' own neighborhood each.
+  for (const auto& [prefix, iids] : ranked) {
+    if (result.generated.size() >= options.budget) break;
+    const std::size_t share = std::max<std::size_t>(
+        4, options.budget * iids.size() / seeds.size());
+    const std::uint64_t lo = *std::min_element(iids.begin(), iids.end());
+    const std::uint64_t hi = *std::max_element(iids.begin(), iids.end());
+    // Fill the observed range outward from its floor (6Gen's tightest
+    // range heuristic), never wandering past a sane ceiling.
+    const std::uint64_t span =
+        hi - lo < share * 2 ? hi - lo + share : hi - lo;
+    for (std::uint64_t step = 0;
+         step <= span && result.generated.size() < options.budget; ++step) {
+      Address candidate = prefix.address();
+      candidate.lo = lo + step;
+      if (seen.insert(candidate).second) result.generated.push_back(candidate);
+      if (step > share * 4) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace v6h::sixgen

@@ -1,0 +1,24 @@
+#pragma once
+
+// 6Gen-style generation (Section 7): find dense seed clusters and
+// fill the tightest ranges around them.
+
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+
+namespace v6h::sixgen {
+
+struct SixGenOptions {
+  std::size_t budget = 1000;
+};
+
+struct SixGenResult {
+  std::vector<ipv6::Address> generated;
+};
+
+SixGenResult sixgen_generate(const std::vector<ipv6::Address>& seeds,
+                             const SixGenOptions& options);
+
+}  // namespace v6h::sixgen

@@ -1,0 +1,65 @@
+#pragma once
+
+// The seven address sources of Section 3: each one accumulates
+// addresses over the campaign with its own growth curve and AS bias
+// (domain lists and CT live almost entirely inside one CDN AS, Atlas
+// is balanced, scamper trawls ISP space along traceroute paths).
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "netsim/network_sim.h"
+#include "netsim/source_id.h"
+#include "netsim/universe.h"
+
+namespace v6h::sources {
+
+struct CollectResult {
+  std::vector<ipv6::Address> new_addresses;  // unique, first seen this call
+  std::size_t cumulative_count = 0;
+};
+
+class SourceSimulator {
+ public:
+  SourceSimulator(const netsim::Universe& universe, netsim::NetworkSim& sim);
+
+  /// Advance the source to `day` and return the addresses that are
+  /// new since the previous collect for this source.
+  CollectResult collect(netsim::SourceId source, int day);
+
+  /// Scamper overload: traceroute targets seed extra router-side
+  /// discoveries near existing hitlist addresses.
+  CollectResult collect(netsim::SourceId source, int day,
+                        const std::vector<ipv6::Address>& targets);
+
+  const std::vector<ipv6::Address>& cumulative(netsim::SourceId source) const {
+    return states_[static_cast<std::size_t>(source)].cumulative;
+  }
+
+ private:
+  struct State {
+    std::vector<ipv6::Address> cumulative;
+    std::unordered_set<ipv6::Address, ipv6::AddressHash> seen;
+    std::uint64_t drawn = 0;
+  };
+
+  struct Pool {
+    std::vector<std::uint32_t> zones;
+    std::vector<double> cumulative_weight;  // prefix sums over `zones`
+    double total_weight = 0.0;
+  };
+
+  std::uint64_t final_count(netsim::SourceId source) const;
+  double growth_fraction(netsim::SourceId source, int day) const;
+  const netsim::Zone& pick_zone(const Pool& pool, std::uint64_t r) const;
+
+  const netsim::Universe* universe_;
+  netsim::NetworkSim* sim_;
+  std::array<State, netsim::kAllSources.size()> states_;
+  std::array<Pool, netsim::kAllSources.size()> pools_;
+};
+
+}  // namespace v6h::sources

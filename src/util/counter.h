@@ -1,0 +1,49 @@
+#pragma once
+
+// Ordered multiset counter with top-k extraction, used for per-AS and
+// per-prefix address tallies.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace v6h::util {
+
+template <typename K>
+class Counter {
+ public:
+  void add(const K& key, std::uint64_t n = 1) { counts_[key] += n; }
+
+  const std::map<K, std::uint64_t>& raw() const { return counts_; }
+
+  std::size_t distinct() const { return counts_.size(); }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, count] : counts_) sum += count;
+    return sum;
+  }
+
+  std::vector<std::uint64_t> values() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(counts_.size());
+    for (const auto& [key, count] : counts_) out.push_back(count);
+    return out;
+  }
+
+  /// The n largest (key, count) pairs, count-descending.
+  std::vector<std::pair<K, std::uint64_t>> top(std::size_t n) const {
+    std::vector<std::pair<K, std::uint64_t>> out(counts_.begin(), counts_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (out.size() > n) out.resize(n);
+    return out;
+  }
+
+ private:
+  std::map<K, std::uint64_t> counts_;
+};
+
+}  // namespace v6h::util

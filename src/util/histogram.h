@@ -1,0 +1,51 @@
+#pragma once
+
+// Fixed-bin histogram plus the sparkline renderer the bench binaries
+// use for growth curves.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace v6h::util {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+  void add(double value) {
+    const double span = hi_ - lo_;
+    if (span <= 0.0) return;
+    const auto bin = static_cast<std::int64_t>((value - lo_) / span *
+                                               static_cast<double>(counts_.size()));
+    const auto clamped = std::clamp<std::int64_t>(
+        bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(clamped)];
+    ++total_;
+  }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Sparkline with bars scaled to the fullest bin.
+  std::string render() const {
+    std::uint64_t peak = 1;
+    for (const auto c : counts_) peak = std::max(peak, c);
+    std::vector<double> normalized;
+    normalized.reserve(counts_.size());
+    for (const auto c : counts_) {
+      normalized.push_back(static_cast<double>(c) / static_cast<double>(peak));
+    }
+    return sparkline(normalized);
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace v6h::util

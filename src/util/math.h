@@ -1,0 +1,41 @@
+#pragma once
+
+// Distribution helpers: top-group concentration curves and medians.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace v6h::util {
+
+/// Sort group sizes descending and return the cumulative fraction of
+/// the total mass contained in the top-i groups (curve[i-1]).
+inline std::vector<double> top_group_curve(std::vector<std::uint64_t> values) {
+  std::sort(values.begin(), values.end(), std::greater<>());
+  double total = 0.0;
+  for (const auto v : values) total += static_cast<double>(v);
+  std::vector<double> curve;
+  curve.reserve(values.size());
+  double running = 0.0;
+  for (const auto v : values) {
+    running += static_cast<double>(v);
+    curve.push_back(total == 0.0 ? 0.0 : running / total);
+  }
+  return curve;
+}
+
+/// Fraction of mass in the top-n groups (1.0 once n covers the curve).
+inline double fraction_in_top(const std::vector<double>& curve, std::size_t n) {
+  if (curve.empty() || n == 0) return 0.0;
+  return curve[std::min(n, curve.size()) - 1];
+}
+
+inline double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+}  // namespace v6h::util

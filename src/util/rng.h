@@ -1,0 +1,77 @@
+#pragma once
+
+// Deterministic hashing and a small counter-based PRNG. Everything in
+// the simulation derives from these so that a Universe built twice
+// from the same params is bit-identical.
+
+#include <cstdint>
+
+namespace v6h::util {
+
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mix up to three words into one well-distributed 64-bit hash.
+inline constexpr std::uint64_t hash64(std::uint64_t a, std::uint64_t b = 0,
+                                      std::uint64_t c = 0) {
+  std::uint64_t h = splitmix64(a ^ 0x517cc1b727220a95ULL);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  return h;
+}
+
+/// hash64 reduced to a probability in [0, 1).
+inline constexpr double hash_unit(std::uint64_t a, std::uint64_t b = 0,
+                                  std::uint64_t c = 0) {
+  return static_cast<double>(hash64(a, b, c) >> 11) * 0x1.0p-53;
+}
+
+/// Counter-mode splitmix64 stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(splitmix64(seed ^ 0x6a09e667f3bcc908ULL)) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return hash64(state_);
+  }
+
+  std::uint64_t uniform(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+  double uniform_real() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// 4-round Feistel permutation over 64 bits. Used to turn a host slot
+/// into a pseudo-random but invertible interface identifier.
+inline std::uint64_t feistel64_encrypt(std::uint64_t key, std::uint64_t value) {
+  auto l = static_cast<std::uint32_t>(value >> 32);
+  auto r = static_cast<std::uint32_t>(value);
+  for (int round = 0; round < 4; ++round) {
+    const auto f = static_cast<std::uint32_t>(hash64(key, round, r));
+    const std::uint32_t tmp = r;
+    r = l ^ f;
+    l = tmp;
+  }
+  return (static_cast<std::uint64_t>(l) << 32) | r;
+}
+
+inline std::uint64_t feistel64_decrypt(std::uint64_t key, std::uint64_t value) {
+  auto l = static_cast<std::uint32_t>(value >> 32);
+  auto r = static_cast<std::uint32_t>(value);
+  for (int round = 3; round >= 0; --round) {
+    const auto f = static_cast<std::uint32_t>(hash64(key, round, l));
+    const std::uint32_t tmp = l;
+    l = r ^ f;
+    r = tmp;
+  }
+  return (static_cast<std::uint64_t>(l) << 32) | r;
+}
+
+}  // namespace v6h::util

@@ -1,0 +1,43 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace v6h::util {
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string percent(double fraction) {
+  return format_double(fraction * 100.0, 1) + " %";
+}
+
+std::string human_count(double value) {
+  const double magnitude = std::fabs(value);
+  if (magnitude >= 1e9) return format_double(value / 1e9, 1) + "G";
+  if (magnitude >= 1e6) return format_double(value / 1e6, 1) + "M";
+  if (magnitude >= 1e3) return format_double(value / 1e3, 1) + "k";
+  return format_double(value, 0);
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+  std::string out;
+  for (const double v : values) {
+    const double clamped = std::clamp(v, 0.0, 1.0);
+    out += kBars[static_cast<int>(clamped * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace v6h::util

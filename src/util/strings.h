@@ -1,0 +1,25 @@
+#pragma once
+
+// Small formatting helpers shared by the bench binaries and reports.
+
+#include <string>
+#include <vector>
+
+namespace v6h::util {
+
+/// Fixed-precision double, e.g. format_double(1.234, 2) == "1.23".
+std::string format_double(double value, int precision);
+
+/// Fraction rendered as a percentage: percent(0.123) == "12.3 %".
+std::string percent(double fraction);
+
+/// Human-friendly count with k/M/G suffix: 58500 -> "58.5k".
+std::string human_count(double value);
+
+/// Unicode block-bar sparkline of values normalized to [0, 1].
+std::string sparkline(const std::vector<double>& values);
+
+/// Left-pad / right-pad with spaces to `width` (no-op when longer).
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace v6h::util

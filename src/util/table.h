@@ -1,0 +1,26 @@
+#pragma once
+
+// Minimal aligned text table used for the "paper vs measured" rows.
+
+#include <string>
+#include <vector>
+
+namespace v6h::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; every column sized to its widest cell.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace v6h::util

@@ -1,0 +1,95 @@
+#include "zesplot/zesplot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace v6h::zesplot {
+
+std::size_t color_bucket(std::uint64_t value, std::uint64_t max_value) {
+  if (value == 0 || max_value == 0) return 0;
+  const double top = std::log1p(static_cast<double>(max_value));
+  const double position = std::log1p(static_cast<double>(value)) / top;
+  const auto bucket = 1 + static_cast<std::size_t>(position * 4.999);
+  return std::min<std::size_t>(bucket, 5);
+}
+
+Plot layout(std::vector<Item> items, const LayoutOptions& options) {
+  Plot plot;
+  plot.options = options;
+  for (const auto& item : items) plot.max_value = std::max(plot.max_value, item.value);
+  if (items.empty()) return plot;
+
+  if (options.sized) {
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.value > b.value; });
+  }
+  // Weights: log-compressed so the hottest prefix cannot swallow the
+  // canvas; unsized plots use uniform weights.
+  std::vector<double> weights(items.size(), 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (options.sized) weights[i] = 1.0 + std::log1p(static_cast<double>(items[i].value));
+    total += weights[i];
+  }
+
+  // Strip layout: walk the items into rows of roughly equal weight.
+  const double row_target = total / std::ceil(std::sqrt(static_cast<double>(items.size())));
+  double y = 0.0;
+  std::size_t row_start = 0;
+  double row_weight = 0.0;
+  auto flush_row = [&](std::size_t row_end) {
+    const double row_height = options.height * row_weight / total;
+    double x = 0.0;
+    for (std::size_t i = row_start; i < row_end; ++i) {
+      const double item_width = options.width * weights[i] / row_weight;
+      PlacedItem placed;
+      placed.prefix = items[i].prefix;
+      placed.asn = items[i].asn;
+      placed.value = items[i].value;
+      placed.x = x;
+      placed.y = y;
+      placed.w = item_width;
+      placed.h = row_height;
+      plot.items.push_back(placed);
+      x += item_width;
+    }
+    y += row_height;
+    row_start = row_end;
+    row_weight = 0.0;
+  };
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    row_weight += weights[i];
+    if (row_weight >= row_target) flush_row(i + 1);
+  }
+  if (row_start < items.size()) flush_row(items.size());
+  return plot;
+}
+
+std::string Plot::to_svg() const {
+  static const char* kPalette[6] = {"#ffffff", "#fee5d9", "#fcae91",
+                                    "#fb6a4a", "#de2d26", "#a50f15"};
+  std::string svg;
+  svg.reserve(items.size() * 96 + 256);
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+                "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+                options.width, options.height, options.width, options.height);
+  svg += buffer;
+  for (const auto& item : items) {
+    const std::size_t bucket = color_bucket(item.value, max_value);
+    std::snprintf(buffer, sizeof buffer,
+                  "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" "
+                  "fill=\"%s\" stroke=\"#777\" stroke-width=\"0.2\"><title>%s "
+                  "AS%u: %llu</title></rect>\n",
+                  item.x, item.y, item.w, item.h, kPalette[bucket],
+                  item.prefix.to_string().c_str(), item.asn,
+                  static_cast<unsigned long long>(item.value));
+    svg += buffer;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace v6h::zesplot

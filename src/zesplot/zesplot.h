@@ -1,0 +1,48 @@
+#pragma once
+
+// zesplot-style squarified treemaps of BGP prefixes (Figures 1c, 3b,
+// 5, 6): one rectangle per announced prefix, area by weight (or
+// uniform), color by a log-scaled value bucket.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipv6/prefix.h"
+
+namespace v6h::zesplot {
+
+struct Item {
+  ipv6::Prefix prefix;
+  std::uint32_t asn = 0;
+  std::uint64_t value = 0;
+};
+
+struct LayoutOptions {
+  bool sized = true;  // area proportional to value (false: uniform boxes)
+  double width = 1024.0;
+  double height = 512.0;
+};
+
+struct PlacedItem {
+  ipv6::Prefix prefix;
+  std::uint32_t asn = 0;
+  std::uint64_t value = 0;
+  double x = 0.0, y = 0.0, w = 0.0, h = 0.0;
+};
+
+struct Plot {
+  std::vector<PlacedItem> items;
+  LayoutOptions options;
+  std::uint64_t max_value = 0;
+
+  std::string to_svg() const;
+};
+
+/// Strip-layout treemap over the items (value-descending when sized).
+Plot layout(std::vector<Item> items, const LayoutOptions& options);
+
+/// Log-scale color bucket in [0, 5]; 0 means "no addresses" (white).
+std::size_t color_bucket(std::uint64_t value, std::uint64_t max_value);
+
+}  // namespace v6h::zesplot

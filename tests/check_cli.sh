@@ -1,0 +1,27 @@
+#!/bin/sh
+# ctest helper enforcing the CLI contract: both the message AND the
+# exit status must match (CTest's PASS_REGULAR_EXPRESSION alone would
+# ignore the exit code).
+#
+# usage: check_cli.sh <expected_status> <expected_substring> -- <command...>
+expected_status=$1
+shift
+expected_substring=$1
+shift
+[ "$1" = "--" ] && shift
+
+out=$("$@" 2>&1)
+status=$?
+echo "$out"
+case "$out" in
+  *"$expected_substring"*) ;;
+  *)
+    echo "check_cli: output is missing: $expected_substring"
+    exit 1
+    ;;
+esac
+if [ "$status" -ne "$expected_status" ]; then
+  echo "check_cli: exit status $status, want $expected_status"
+  exit 1
+fi
+exit 0

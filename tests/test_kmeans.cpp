@@ -1,0 +1,98 @@
+// Entropy fingerprints and k-means convergence on separable data.
+
+#include "entropy/clustering.h"
+#include "test_main.h"
+#include "util/rng.h"
+
+using namespace v6h;
+using entropy::Fingerprint;
+using ipv6::Address;
+
+static void run_tests() {
+  // Fingerprint extremes: constant nybbles have zero entropy, uniform
+  // nybbles approach 1.
+  std::vector<Address> constant;
+  for (int i = 0; i < 512; ++i) {
+    constant.push_back(ipv6::must_parse("2001:db8::42"));
+  }
+  const auto flat = entropy::compute_fingerprint(constant, entropy::kFullBelow32);
+  CHECK_EQ(flat.size(), 24u);
+  for (const double h : flat) CHECK_NEAR(h, 0.0, 1e-12);
+
+  util::Rng rng(11);
+  std::vector<Address> uniform;
+  for (int i = 0; i < 4096; ++i) {
+    uniform.push_back(Address::from_u64(0x20010db800000000ULL, rng.next_u64()));
+  }
+  const auto noisy = entropy::compute_fingerprint(uniform, entropy::kIidOnly);
+  CHECK_EQ(noisy.size(), 16u);
+  for (const double h : noisy) CHECK(h > 0.95);
+
+  // Counter scheme: only the tail nybbles carry entropy.
+  std::vector<Address> counter;
+  for (int i = 0; i < 4096; ++i) {
+    Address a = ipv6::must_parse("2001:db8:1:2::");
+    a.lo = static_cast<std::uint64_t>(i) + 1;
+    counter.push_back(a);
+  }
+  const auto stepped = entropy::compute_fingerprint(counter, entropy::kFullBelow32);
+  for (std::size_t i = 0; i + 4 < stepped.size(); ++i) CHECK_NEAR(stepped[i], 0.0, 1e-9);
+  CHECK(stepped.back() > 0.9);
+
+  // k-means separates three well-separated fingerprint families.
+  std::vector<Fingerprint> points;
+  std::vector<unsigned> truth;
+  for (int i = 0; i < 300; ++i) {
+    const unsigned family = i % 3;
+    Fingerprint fp(12, 0.05);
+    for (std::size_t d = family * 4; d < family * 4 + 4; ++d) fp[d] = 0.95;
+    for (auto& v : fp) v += 0.01 * rng.uniform_real();
+    points.push_back(std::move(fp));
+    truth.push_back(family);
+  }
+  const auto result = entropy::kmeans(points, 3, 1);
+  CHECK_EQ(result.assignment.size(), points.size());
+  CHECK(result.iterations >= 1 && result.iterations < 60);  // converged, no cap
+  CHECK(result.sse < 1.0);
+  // Same-family points share a cluster; different families never do.
+  bool coherent = true;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const bool same_truth = truth[i] == truth[j];
+      const bool same_cluster = result.assignment[i] == result.assignment[j];
+      coherent &= same_truth == same_cluster;
+    }
+  }
+  CHECK(coherent);
+
+  // Determinism.
+  const auto again = entropy::kmeans(points, 3, 1);
+  CHECK(again.assignment == result.assignment);
+  CHECK_NEAR(again.sse, result.sse, 1e-12);
+
+  // Degenerate inputs don't blow up.
+  CHECK(entropy::kmeans({}, 3, 1).centroids.empty());
+  const auto tiny = entropy::kmeans({points[0], points[1]}, 5, 1);
+  CHECK(tiny.centroids.size() <= 2);
+
+  // End-to-end clustering with the /32 grouping: two /32s with very
+  // different schemes land in different clusters.
+  std::vector<Address> mixed;
+  for (int i = 0; i < 200; ++i) {
+    Address a = ipv6::must_parse("2001:db8::");
+    a.lo = static_cast<std::uint64_t>(i) + 1;
+    mixed.push_back(a);                                            // counters
+    mixed.push_back(Address::from_u64(0x2002000000000000ULL + (i % 7),
+                                      rng.next_u64()));            // random IIDs
+  }
+  entropy::ClusteringOptions options;
+  options.min_addresses = 50;
+  const auto clusters =
+      entropy::cluster_addresses(mixed, entropy::group_by_slash32(), options);
+  CHECK_EQ(clusters.networks.size(), 2u);
+  CHECK(clusters.k >= 1 && !clusters.clusters.empty());
+  CHECK(!clusters.render().empty());
+  CHECK_EQ(clusters.elbow.sse_per_k.size(), 2u);
+}
+
+TEST_MAIN()

@@ -1,0 +1,34 @@
+#pragma once
+
+// Tiny test harness: CHECK macros count failures; TEST_MAIN prints a
+// summary and returns nonzero when anything failed (ctest contract).
+
+#include <cstdio>
+#include <string>
+
+namespace v6h::test {
+inline int failures = 0;
+inline int checks = 0;
+}  // namespace v6h::test
+
+#define CHECK(condition)                                                      \
+  do {                                                                        \
+    ++v6h::test::checks;                                                      \
+    if (!(condition)) {                                                       \
+      ++v6h::test::failures;                                                  \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__,            \
+                   #condition);                                               \
+    }                                                                         \
+  } while (0)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NEAR(a, b, eps)                                                 \
+  CHECK(((a) > (b) ? (a) - (b) : (b) - (a)) <= (eps))
+
+#define TEST_MAIN()                                                           \
+  int main() {                                                                \
+    run_tests();                                                              \
+    std::printf("%d checks, %d failures\n", v6h::test::checks,                \
+                v6h::test::failures);                                         \
+    return v6h::test::failures == 0 ? 0 : 1;                                  \
+  }

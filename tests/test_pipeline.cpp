@@ -1,0 +1,98 @@
+// End-to-end Pipeline::run_day: collection grows, APD catches truly
+// aliased space without flagging honest space, scans carry response
+// masks, and the whole thing is deterministic.
+
+#include "hitlist/pipeline.h"
+#include "hitlist/stats.h"
+#include "test_main.h"
+
+using namespace v6h;
+
+static void run_tests() {
+  netsim::UniverseParams params;
+  params.scale = 0.05;
+  params.tail_as_count = 150;
+  const netsim::Universe universe(params);
+
+  netsim::NetworkSim sim(universe);
+  hitlist::Pipeline pipeline(universe, sim);
+
+  const auto day1 = pipeline.run_day(268);
+  const auto day2 = pipeline.run_day(269);
+  const auto day3 = pipeline.run_day(270);
+
+  // The hitlist accumulates and the later days only add the fresh part.
+  CHECK(day1.new_addresses > 0);
+  CHECK(!pipeline.targets().empty());
+  CHECK(day1.new_addresses > day3.new_addresses);
+  CHECK_EQ(pipeline.targets().size(),
+           day1.new_addresses + day2.new_addresses + day3.new_addresses);
+
+  // APD found aliased space, and verdicts are sound: flagged addresses
+  // are mostly truly aliased, and plenty of aliased targets are caught.
+  const auto filter = pipeline.alias_filter();
+  CHECK(day3.aliased_prefixes > 0);
+  CHECK(!filter.prefixes().empty());
+  std::size_t flagged = 0, flagged_correct = 0, truly = 0, caught = 0;
+  for (const auto& a : pipeline.targets()) {
+    const bool mine = filter.is_aliased(a);
+    const bool truth = universe.truly_aliased_at(a);
+    flagged += mine;
+    flagged_correct += mine && truth;
+    truly += truth;
+    caught += mine && truth;
+  }
+  CHECK(flagged > 0);
+  CHECK(truly > 0);
+  // No false positives by construction (16/16 random addresses).
+  CHECK_EQ(flagged, flagged_correct);
+  // The bulk of truly aliased hitlist addresses is detected.
+  CHECK(caught * 10 >= truly * 6);
+
+  // Scan report: non-aliased targets only, masks consistent.
+  CHECK_EQ(day3.scan.targets.size(), day3.scanned_targets);
+  CHECK(day3.scanned_targets < pipeline.targets().size());
+  std::size_t responsive = 0;
+  for (const auto& t : day3.scan.targets) {
+    CHECK(!filter.is_aliased(t.address));
+    responsive += t.responded_any();
+    for (const auto p : net::kAllProtocols) {
+      if (t.responded(p)) {
+        CHECK((t.responded_mask & net::mask_of(p)) != 0);
+      }
+    }
+  }
+  CHECK(responsive > 0);
+  CHECK(responsive < day3.scan.targets.size());
+  CHECK_EQ(day3.scan.responsive_any_count(), responsive);
+
+  // Distribution summaries are consistent with the hitlist.
+  const auto summary =
+      hitlist::summarize_distribution(pipeline.targets(), universe.bgp());
+  CHECK_EQ(summary.addresses, pipeline.targets().size());
+  CHECK(summary.ases > 1);
+  CHECK(summary.prefixes >= summary.ases / 2);
+  CHECK(!summary.as_curve.empty());
+  CHECK_NEAR(summary.as_curve.back(), 1.0, 1e-9);
+
+  // Full determinism: an identical pipeline reproduces the reports.
+  netsim::NetworkSim sim2(universe);
+  hitlist::Pipeline pipeline2(universe, sim2);
+  pipeline2.run_day(268);
+  pipeline2.run_day(269);
+  const auto day3_again = pipeline2.run_day(270);
+  CHECK_EQ(day3_again.new_addresses, day3.new_addresses);
+  CHECK_EQ(day3_again.aliased_prefixes, day3.aliased_prefixes);
+  CHECK_EQ(day3_again.scanned_targets, day3.scanned_targets);
+  CHECK(pipeline2.targets() == pipeline.targets());
+  CHECK_EQ(day3_again.scan.responsive_any_count(),
+           day3.scan.responsive_any_count());
+
+  // The sources the pipeline drives are reachable and populated.
+  auto& sources = pipeline.source_simulator();
+  for (const auto source : netsim::kAllSources) {
+    CHECK(!sources.cumulative(source).empty());
+  }
+}
+
+TEST_MAIN()
