@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/engine.h"
 #include "hitlist/pipeline.h"
 #include "netsim/network_sim.h"
 #include "netsim/universe.h"
@@ -63,6 +64,7 @@ struct BenchArgs {
   double scale = 1.0;
   int days = 3;          // pipeline days to run (fills the APD window)
   int horizon = 270;     // source-growth day used as "now"
+  int threads = 0;       // engine workers; 0 = hardware concurrency, 1 = serial
   std::string out_dir = ".";
 
   static BenchArgs parse(int argc, char** argv) {
@@ -81,10 +83,13 @@ struct BenchArgs {
         args.days = detail::parse_int("--days", next_value("--days"));
       } else if (std::strcmp(argv[i], "--horizon") == 0) {
         args.horizon = detail::parse_int("--horizon", next_value("--horizon"));
+      } else if (std::strcmp(argv[i], "--threads") == 0) {
+        args.threads = detail::parse_int("--threads", next_value("--threads"));
       } else if (std::strcmp(argv[i], "--out") == 0) {
         args.out_dir = next_value("--out");
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf("flags: --scale S --days N --horizon D --out DIR\n");
+        std::printf(
+            "flags: --scale S --days N --horizon D --threads T --out DIR\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -104,6 +109,18 @@ struct BenchArgs {
                    args.horizon);
       std::exit(2);
     }
+    if (args.threads < 0) {
+      std::fprintf(stderr, "--threads must be non-negative (got %d)\n",
+                   args.threads);
+      std::exit(2);
+    }
+    // Cap before ThreadPool spawns: a huge value would die on a
+    // std::system_error from std::thread instead of the CLI contract.
+    if (args.threads > 1024) {
+      std::fprintf(stderr, "--threads must be at most 1024 (got %d)\n",
+                   args.threads);
+      std::exit(2);
+    }
     return args;
   }
 
@@ -111,6 +128,14 @@ struct BenchArgs {
     netsim::UniverseParams params;
     params.scale = scale;
     return params;
+  }
+
+  /// The sharded execution engine every bench routes its universe
+  /// build and pipeline runs through; --threads 1 is the serial path.
+  engine::Engine make_engine() const {
+    engine::EngineOptions options;
+    options.threads = static_cast<unsigned>(threads);
+    return engine::Engine(options);
   }
 };
 

@@ -11,12 +11,19 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 1a: cumulative address runup per source");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  sources::SourceSimulator sources(universe, sim);
+  sources::SourceSimulator sources(universe, sim, &eng);
 
   std::vector<ipv6::Address> targets;
   std::unordered_map<ipv6::Address, bool, ipv6::AddressHash> seen;
+  // The cross-source dedup is the bench's serial residue; sizing it
+  // up front keeps rehashing out of the --threads comparison.
+  const auto expected =
+      static_cast<std::size_t>(70000 * args.scale) + 1024;
+  seen.reserve(expected);
+  targets.reserve(expected);
   const int step = 15;
   std::map<netsim::SourceId, std::vector<std::size_t>> series;
   std::vector<int> days;

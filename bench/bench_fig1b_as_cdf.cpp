@@ -11,9 +11,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 1b: AS distribution (CDF over top-X ASes) per source");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  sources::SourceSimulator sources(universe, sim);
+  sources::SourceSimulator sources(universe, sim, &eng);
 
   // Build the final per-source populations.
   std::vector<ipv6::Address> targets;

@@ -12,9 +12,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 1c: hitlist addresses over announced BGP prefixes (zesplot)");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   bench::run_pipeline_days(pipeline, args);
 
   const auto by_prefix = hitlist::prefix_counter(pipeline.targets(), universe.bgp());

@@ -40,9 +40,10 @@ void run_variant(const char* title, const std::vector<ipv6::Address>& addrs,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   bench::run_pipeline_days(pipeline, args);
 
   // The paper clusters the full (pre-scan) hitlist; min 100 addresses

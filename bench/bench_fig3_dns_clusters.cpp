@@ -12,9 +12,10 @@ using namespace v6h;
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
 
   bench::header("Figure 3a: clusters of UDP/53-responsive /32s (F9-32)");

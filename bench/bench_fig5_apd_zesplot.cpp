@@ -14,15 +14,16 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 5: ICMP responses without APD + detected aliased prefixes");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
   hitlist::PipelineOptions options;
   options.scan.protocols = {net::Protocol::kIcmp};
-  hitlist::Pipeline pipeline(universe, sim, options);
+  hitlist::Pipeline pipeline(universe, sim, options, &eng);
   bench::run_pipeline_days(pipeline, args);
 
   // (a) probe EVERYTHING (no APD filter) on ICMP.
-  probe::Scanner scanner(sim);
+  probe::Scanner scanner(sim, &eng);
   probe::ScanOptions scan_options;
   scan_options.protocols = {net::Protocol::kIcmp};
   const auto unfiltered = scanner.scan(pipeline.targets(), args.horizon, scan_options);
@@ -48,7 +49,7 @@ int main(int argc, char** argv) {
   // (b) detected aliased prefixes: BGP-based APD probes the announced
   // prefixes as-is (Section 5.1, "for BGP-based probing, we use each
   // prefix as announced").
-  apd::AliasDetector bgp_detector(sim);
+  apd::AliasDetector bgp_detector(sim, {}, &eng);
   std::vector<ipv6::Prefix> announced_with_responses;
   for (const auto& [prefix, count] : responses.raw()) {
     announced_with_responses.push_back(prefix);

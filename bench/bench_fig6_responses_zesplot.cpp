@@ -12,9 +12,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 6 / Section 6.1: ICMP-responsive addresses per BGP prefix");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
 
   std::vector<ipv6::Address> responsive, icmp_responsive;

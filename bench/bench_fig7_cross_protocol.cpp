@@ -10,9 +10,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 7: cross-protocol conditional responsiveness");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
 
   const auto matrix = probe::conditional_responsiveness(report.scan.targets);

@@ -23,12 +23,13 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Figure 8: 14-day responsiveness by source (baseline = day-0 responders)");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   bench::run_pipeline_days(pipeline, args);
   auto& sources = pipeline.source_simulator();
-  probe::Scanner scanner(sim);
+  probe::Scanner scanner(sim, &eng);
   const int day0 = args.horizon;
 
   // Establish per-source baselines: addresses responsive on day 0.

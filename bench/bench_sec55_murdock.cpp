@@ -12,9 +12,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Section 5.5: multi-level APD vs Murdock et al. (static /96)");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   bench::run_pipeline_days(pipeline, args);
   const auto& targets = pipeline.targets();
   const auto ours = pipeline.alias_filter();
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
   apd::ApdOptions apd_options;
   apd_options.min_targets = std::max<std::size_t>(
       3, static_cast<std::size_t>(std::llround(0.1 * args.scale)));
-  apd::AliasDetector fresh(counting_sim, apd_options);
+  apd::AliasDetector fresh(counting_sim, apd_options, &eng);
   const auto candidates = fresh.candidate_prefixes(targets);
   const std::uint64_t our_addresses = candidates.size() * 16ull;
 

@@ -17,9 +17,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Section 7: learning new addresses (Entropy/IP vs 6Gen)");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   bench::run_pipeline_days(pipeline, args);
 
   // Seeds: non-aliased hitlist addresses, grouped by AS, >= the scaled
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
                      ")");
 
   // Probe all generated addresses on all five protocols.
-  probe::Scanner scanner(sim);
+  probe::Scanner scanner(sim, &eng);
   const auto eip_scan = scanner.scan(eip, args.horizon);
   const auto six_scan = scanner.scan(six, args.horizon);
 

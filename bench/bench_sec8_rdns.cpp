@@ -15,9 +15,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Section 8: rDNS as a data source");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
 
   const auto tree = rdns::RdnsTree::build(universe);
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   }
   std::printf("  removed %zu rDNS addresses in aliased prefixes (paper: 13.1k)\n",
               filtered_aliased);
-  probe::Scanner scanner(sim);
+  probe::Scanner scanner(sim, &eng);
   const auto rdns_scan = scanner.scan(probe_list, args.horizon);
 
   auto rate = [](const probe::ScanReport& r, net::Protocol p) {

@@ -11,9 +11,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Table 1: comparison with previous work");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   bench::run_pipeline_days(pipeline, args);
   const auto summary =
       hitlist::summarize_distribution(pipeline.targets(), universe.bgp());

@@ -12,9 +12,10 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Table 2: hitlist sources overview (paper: 2018-05-11 snapshot)");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim);
+  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
   // Scanning is not needed for this table; APD off keeps it fast.
   // (The pipeline still traceroutes for the scamper source.)
   sources::SourceSimulator& sources = pipeline.source_simulator();

@@ -11,7 +11,8 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Table 4: sliding window vs unstable aliased prefixes");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
 
   // The instability sources: lossy aliased prefixes and the ICMP-rate-
   // limited /120s, tested daily like the production APD.
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
     netsim::NetworkSim sim(universe);
     apd::ApdOptions options;
     options.window_days = window;
-    apd::AliasDetector detector(sim, options);
+    apd::AliasDetector detector(sim, options, &eng);
     for (int day = 0; day < days; ++day) {
       detector.run_day_on_prefixes(prefixes, day);
     }

@@ -14,7 +14,8 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Table 5: fingerprint consistency over aliased /64 prefixes");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
 
   // Enumerate aliased /64s the way the paper does: /64s inside detected

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Table 6: consistency of aliased vs non-aliased prefixes");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
 
   // Aliased sample: one /64 per aliased zone (fan-out observations).

@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   bench::header("Table 9: crowdsourcing client distribution");
 
-  const netsim::Universe universe(args.universe_params());
+  auto eng = args.make_engine();
+  const netsim::Universe universe(args.universe_params(), &eng);
   const auto study = crowd::run_crowd_study(universe);
 
   const auto mturk = study.stats(crowd::Platform::kMturk);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "engine/shard.h"
 #include "util/rng.h"
 
 namespace v6h::apd {
@@ -10,8 +11,9 @@ namespace v6h::apd {
 using ipv6::Address;
 using ipv6::Prefix;
 
-AliasDetector::AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options)
-    : sim_(&sim), options_(options) {}
+AliasDetector::AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options,
+                             engine::Engine* engine)
+    : sim_(&sim), options_(options), engine_(engine) {}
 
 PrefixOutcome AliasDetector::probe_prefix(const Prefix& prefix, int day) {
   PrefixOutcome outcome;
@@ -28,20 +30,34 @@ PrefixOutcome AliasDetector::probe_prefix(const Prefix& prefix, int day) {
 DayOutcome AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixes,
                                               int day) {
   DayOutcome out;
-  for (const auto& prefix : prefixes) {
-    const PrefixOutcome outcome = probe_prefix(prefix, day);
-    out.probes += 16;
-    State& state = state_[prefix];
-    state.history.push_back(outcome.aliased);
-    while (state.history.size() > options_.window_days + 1) {
-      state.history.pop_front();
+  const std::size_t n = prefixes.size();
+  std::vector<PrefixOutcome> outcomes(n);
+  if (engine_ != nullptr && engine_->parallel()) {
+    // Batch per top-bits shard: each worker chunk probes one region of
+    // the address space; outcomes are index-addressed, so the merge
+    // below reads them back in input order regardless of scheduling.
+    const auto order = engine::shard_order(
+        prefixes, [](const Prefix& p) { return engine::shard_first(p); });
+    engine_->parallel_for(n, 4, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t i = order[k];
+        outcomes[i] = probe_prefix(prefixes[i], day);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      outcomes[i] = probe_prefix(prefixes[i], day);
     }
-    bool verdict = false;
-    for (const bool positive : state.history) verdict |= positive;
-    if (state.has_verdict && verdict != state.verdict) ++flips_[prefix];
-    state.verdict = verdict;
-    state.has_verdict = true;
-    if (verdict) out.aliased.push_back(prefix);
+  }
+  // Deterministic merge: windows update serially in input order.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Prefix& prefix = prefixes[i];
+    out.probes += 16;
+    auto [it, inserted] =
+        state_.try_emplace(prefix, SlidingVerdict(options_.window_days));
+    (void)inserted;
+    if (it->second.update(outcomes[i].aliased)) ++flips_[prefix];
+    if (it->second.verdict()) out.aliased.push_back(prefix);
   }
   return out;
 }
@@ -74,8 +90,8 @@ std::vector<Prefix> AliasDetector::candidate_prefixes(
 
 std::vector<Prefix> AliasDetector::current_aliased() const {
   std::vector<Prefix> out;
-  for (const auto& [prefix, state] : state_) {
-    if (state.verdict) out.push_back(prefix);
+  for (const auto& [prefix, window] : state_) {
+    if (window.verdict()) out.push_back(prefix);
   }
   return out;
 }

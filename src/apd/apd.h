@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "engine/engine.h"
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
 #include "net/protocol.h"
@@ -35,14 +36,48 @@ struct DayOutcome {
   std::uint64_t probes = 0;
 };
 
+/// Table-4 sliding-window smoother for one prefix: the windowed
+/// verdict is "aliased" while any of the last window_days + 1 raw
+/// outcomes was aliased, so a single rate-limited day cannot flip it,
+/// and a prefix ages out after window_days + 1 quiet days.
+class SlidingVerdict {
+ public:
+  explicit SlidingVerdict(unsigned window_days = 0)
+      : window_days_(window_days) {}
+
+  /// Feed today's raw outcome; returns true when the windowed verdict
+  /// flipped relative to the previous day.
+  bool update(bool aliased_today) {
+    history_.push_back(aliased_today);
+    while (history_.size() > window_days_ + 1) history_.pop_front();
+    bool verdict = false;
+    for (const bool positive : history_) verdict |= positive;
+    const bool flipped = has_verdict_ && verdict != verdict_;
+    verdict_ = verdict;
+    has_verdict_ = true;
+    return flipped;
+  }
+
+  bool verdict() const { return verdict_; }
+  bool has_verdict() const { return has_verdict_; }
+
+ private:
+  std::deque<bool> history_;
+  unsigned window_days_ = 0;
+  bool verdict_ = false;
+  bool has_verdict_ = false;
+};
+
 class AliasDetector {
  public:
-  explicit AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options = {});
+  explicit AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options = {},
+                         engine::Engine* engine = nullptr);
 
   PrefixOutcome probe_prefix(const ipv6::Prefix& prefix, int day);
 
-  /// One APD day over a candidate batch: probe, update windows, and
-  /// return the prefixes currently judged aliased.
+  /// One APD day over a candidate batch: probe (sharded across the
+  /// engine workers when one is attached), update windows in input
+  /// order, and return the prefixes currently judged aliased.
   DayOutcome run_day_on_prefixes(const std::vector<ipv6::Prefix>& prefixes, int day);
 
   /// Multi-level candidate enumeration from hitlist addresses: the
@@ -59,15 +94,10 @@ class AliasDetector {
   const ApdOptions& options() const { return options_; }
 
  private:
-  struct State {
-    std::deque<bool> history;
-    bool verdict = false;
-    bool has_verdict = false;
-  };
-
   netsim::NetworkSim* sim_;
   ApdOptions options_;
-  std::map<ipv6::Prefix, State> state_;
+  engine::Engine* engine_;
+  std::map<ipv6::Prefix, SlidingVerdict> state_;
   std::map<ipv6::Prefix, unsigned> flips_;
 };
 

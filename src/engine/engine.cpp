@@ -1,0 +1,35 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace v6h::engine {
+
+Engine::Engine(EngineOptions options) {
+  threads_ = options.threads != 0
+                 ? options.threads
+                 : std::max(1u, std::thread::hardware_concurrency());
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+void Engine::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool_ == nullptr || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  // ~8 stealable chunks per worker bounds scheduling overhead on one
+  // side and tail imbalance (one giant shard) on the other.
+  const std::size_t max_chunks = static_cast<std::size_t>(threads_) * 8;
+  const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  pool_->run(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    fn(begin, std::min(n, begin + chunk));
+  });
+}
+
+}  // namespace v6h::engine

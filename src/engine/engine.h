@@ -1,0 +1,44 @@
+#pragma once
+
+// Sharded parallel execution engine for the daily pipeline: a
+// work-stealing ThreadPool plus the deterministic parallel_for every
+// pipeline stage (source draws, APD fan-out, protocol scans, alias
+// filtering, universe construction) is routed through.
+//
+// Determinism contract: a null Engine* or threads == 1 executes every
+// loop inline on the historical serial path; for any other thread
+// count, callers write disjoint index-addressed outputs and merge in
+// input order, so results are byte-identical to the serial run.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "engine/thread_pool.h"
+
+namespace v6h::engine {
+
+struct EngineOptions {
+  /// Worker count; 0 picks hardware concurrency, 1 is strictly serial.
+  unsigned threads = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  unsigned threads() const { return threads_; }
+  bool parallel() const { return pool_ != nullptr; }
+
+  /// fn(begin, end) over disjoint chunks covering [0, n). Chunks land
+  /// on all workers via work-stealing; with one thread (or n <= grain)
+  /// this is a single inline fn(0, n) call.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  unsigned threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace v6h::engine

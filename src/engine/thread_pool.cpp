@@ -1,0 +1,104 @@
+#include "engine/thread_pool.h"
+
+namespace v6h::engine {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads < 1) threads = 1;
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::run_one(unsigned self) {
+  std::size_t index = 0;
+  bool found = false;
+  {
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      index = own.tasks.front();
+      own.tasks.pop_front();
+      found = true;
+    }
+  }
+  for (std::size_t offset = 1; !found && offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      index = victim.tasks.back();  // steal from the cold end
+      victim.tasks.pop_back();
+      found = true;
+    }
+  }
+  if (!found) return false;
+  (*task_)(index);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    while (run_one(self)) {
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (inside_run_) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  inside_run_ = true;
+  // task_ and remaining_ are published before any index is enqueued: a
+  // late worker still draining the previous epoch may legally steal
+  // the new tasks, and must observe both through the queue mutex.
+  task_ = &task;
+  remaining_.store(count, std::memory_order_release);
+  for (std::size_t i = 0; i < count; ++i) {
+    Queue& queue = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    queue.tasks.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+  }
+  wake_.notify_all();
+  while (run_one(0)) {
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock,
+               [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  }
+  task_ = nullptr;
+  inside_run_ = false;
+}
+
+}  // namespace v6h::engine

@@ -1,0 +1,59 @@
+#pragma once
+
+// Work-stealing thread pool underneath engine::Engine. One task deque
+// per worker (slot 0 belongs to the calling thread); run() deals task
+// indices round-robin across the deques, and each worker drains its
+// own deque from the front, stealing from a victim's back once empty.
+//
+// run() is driven from one thread at a time (the pipeline's main
+// thread); a nested run() call degrades to inline execution on the
+// caller instead of deadlocking.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace v6h::engine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  unsigned threads() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// Execute task(0) .. task(count - 1) across all workers and return
+  /// once every call has finished. Which worker runs which index is
+  /// unspecified — callers keep determinism by writing disjoint,
+  /// index-addressed outputs.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> tasks;
+  };
+
+  bool run_one(unsigned self);
+  void worker_loop(unsigned self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::atomic<std::size_t> remaining_{0};
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::uint64_t epoch_ = 0;  // guarded by mu_
+  bool stop_ = false;        // guarded by mu_
+  bool inside_run_ = false;  // caller-thread only
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace v6h::engine

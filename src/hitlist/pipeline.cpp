@@ -6,17 +6,52 @@ using ipv6::Address;
 using ipv6::Prefix;
 
 AliasFilter::AliasFilter(std::vector<Prefix> prefixes)
-    : prefixes_(std::move(prefixes)) {
-  for (const auto& prefix : prefixes_) trie_.insert(prefix, true);
+    : prefixes_(std::move(prefixes)), any_(!prefixes_.empty()) {
+  for (const auto& prefix : prefixes_) {
+    const std::size_t first = engine::shard_first(prefix);
+    const std::size_t last = engine::shard_last(prefix);
+    for (std::size_t shard = first; shard <= last; ++shard) {
+      tries_[shard].insert(prefix, true);
+    }
+  }
+}
+
+void AliasFilter::is_aliased_many(const std::vector<Address>& in,
+                                  std::vector<char>* aliased,
+                                  engine::Engine* engine) const {
+  aliased->assign(in.size(), 0);
+  if (!any_) return;
+  auto run = [&](std::size_t begin, std::size_t end) {
+    constexpr std::size_t kBatch = 128;
+    const bool* hits[kBatch];
+    std::size_t i = begin;
+    while (i < end) {
+      // Maximal run of same-shard addresses -> one batched trie call.
+      const std::size_t shard = engine::shard_of(in[i]);
+      std::size_t j = i + 1;
+      while (j < end && j - i < kBatch && engine::shard_of(in[j]) == shard) ++j;
+      tries_[shard].longest_match_many(&in[i], j - i, hits);
+      for (std::size_t k = i; k < j; ++k) {
+        (*aliased)[k] = hits[k - i] != nullptr;
+      }
+      i = j;
+    }
+  };
+  if (engine != nullptr && engine->parallel()) {
+    engine->parallel_for(in.size(), 512, run);
+  } else {
+    run(0, in.size());
+  }
 }
 
 Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
-                   PipelineOptions options)
+                   PipelineOptions options, engine::Engine* engine)
     : universe_(&universe),
       options_(std::move(options)),
-      sources_(universe, sim),
-      detector_(sim, options_.apd),
-      scanner_(sim) {}
+      engine_(engine),
+      sources_(universe, sim, engine),
+      detector_(sim, options_.apd, engine),
+      scanner_(sim, engine) {}
 
 Pipeline::DayReport Pipeline::run_day(int day) {
   DayReport report;
@@ -43,10 +78,12 @@ Pipeline::DayReport Pipeline::run_day(int day) {
   report.aliased_prefixes = filter.prefixes().size();
 
   // 3. Scan everything not inside detected aliased space.
+  std::vector<char> aliased;
+  filter.is_aliased_many(targets_, &aliased, engine_);
   std::vector<Address> scan_targets;
   scan_targets.reserve(targets_.size());
-  for (const auto& a : targets_) {
-    if (!filter.is_aliased(a)) scan_targets.push_back(a);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (!aliased[i]) scan_targets.push_back(targets_[i]);
   }
   report.scanned_targets = scan_targets.size();
   report.scan = scanner_.scan(scan_targets, day, options_.scan);

@@ -4,11 +4,14 @@
 // run APD over the candidate prefixes, then scan the de-aliased
 // targets across the protocol set.
 
+#include <array>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
 #include "apd/apd.h"
+#include "engine/engine.h"
+#include "engine/shard.h"
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
 #include "ipv6/trie.h"
@@ -25,27 +28,45 @@ struct PipelineOptions {
 };
 
 /// Value-type snapshot of the APD verdicts; cheap to copy around the
-/// bench analyses.
+/// bench analyses. Prefixes are partitioned by top bits into
+/// per-shard tries (a prefix shorter than the shard width is
+/// replicated into every shard it overlaps), so batched filtering can
+/// run shard-local on the engine workers.
 class AliasFilter {
  public:
   AliasFilter() = default;
   explicit AliasFilter(std::vector<ipv6::Prefix> prefixes);
 
   bool is_aliased(const ipv6::Address& a) const {
-    return !trie_.empty() && trie_.longest_match(a) != nullptr;
+    // `any_` hoists the old per-call trie emptiness test out of the
+    // hot loop; an empty filter answers without touching a trie.
+    return any_ && tries_[engine::shard_of(a)].longest_match(a) != nullptr;
   }
+
+  /// Batched filter: (*aliased)[i] = is_aliased(in[i]), computed in
+  /// same-shard runs via PrefixTrie::longest_match_many and sharded
+  /// across the engine workers when one is given. Output order is the
+  /// input order for any thread count.
+  void is_aliased_many(const std::vector<ipv6::Address>& in,
+                       std::vector<char>* aliased,
+                       engine::Engine* engine = nullptr) const;
 
   const std::vector<ipv6::Prefix>& prefixes() const { return prefixes_; }
 
  private:
   std::vector<ipv6::Prefix> prefixes_;
-  ipv6::PrefixTrie<bool> trie_;
+  bool any_ = false;
+  std::array<ipv6::PrefixTrie<bool>, engine::kShardCount> tries_;
 };
 
 class Pipeline {
  public:
+  /// With an engine, the collect draws, APD fan-out, alias filtering,
+  /// and protocol scans of each day run sharded on its workers; a
+  /// null engine (or --threads 1) is the serial path. Output is
+  /// byte-identical either way (tests/test_engine_equivalence.cpp).
   Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
-           PipelineOptions options = {});
+           PipelineOptions options = {}, engine::Engine* engine = nullptr);
 
   struct DayReport {
     int day = -1;
@@ -70,6 +91,7 @@ class Pipeline {
  private:
   const netsim::Universe* universe_;
   PipelineOptions options_;
+  engine::Engine* engine_;
   sources::SourceSimulator sources_;
   apd::AliasDetector detector_;
   probe::Scanner scanner_;

@@ -51,6 +51,16 @@ class PrefixTrie {
     return best < 0 ? nullptr : &values_[static_cast<std::size_t>(best)];
   }
 
+  /// Batched longest_match over a contiguous address array:
+  /// results[i] = longest_match(addrs[i]). One call per same-shard run
+  /// keeps the hot upper trie levels cached across the whole batch.
+  void longest_match_many(const Address* addrs, std::size_t count,
+                          const T** results) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = longest_match(addrs[i]);
+    }
+  }
+
   /// Exact-prefix lookup, or nullptr if that exact prefix was never inserted.
   const T* exact_match(const Prefix& prefix) const {
     std::size_t node = 0;

@@ -79,7 +79,7 @@ net::ProtocolMask host_service_mask(const Zone& zone, std::uint32_t slot) {
 
 ProbeResult NetworkSim::probe(const Address& a, net::Protocol protocol, int day,
                               unsigned seq) {
-  ++probes_sent_;
+  probes_sent_.fetch_add(1, std::memory_order_relaxed);
   ProbeResult out;
   const Zone* zone = universe_->zone_at(a);
   if (zone == nullptr) return out;

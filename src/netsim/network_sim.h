@@ -4,6 +4,7 @@
 // fingerprint surface (iTTL, options, wscale, MSS, wsize, timestamps)
 // the alias-resolution analyses of Section 5.4 need.
 
+#include <atomic>
 #include <cstdint>
 
 #include "ipv6/address.h"
@@ -35,17 +36,23 @@ class NetworkSim {
   explicit NetworkSim(const Universe& universe) : universe_(&universe) {}
 
   /// One probe of `a` with `protocol` at (day, seq). Deterministic in
-  /// all arguments plus the universe params.
+  /// all arguments plus the universe params, and safe to call from
+  /// engine workers concurrently: the response is a pure function and
+  /// the sent counter below is the only mutable state.
   ProbeResult probe(const ipv6::Address& a, net::Protocol protocol, int day,
                     unsigned seq = 0);
 
-  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probes_sent() const {
+    return probes_sent_.load(std::memory_order_relaxed);
+  }
 
   const Universe& universe() const { return *universe_; }
 
  private:
   const Universe* universe_;
-  std::uint64_t probes_sent_ = 0;
+  // Relaxed atomic: a pure count, so the total is schedule-independent
+  // and stays byte-identical across thread counts.
+  std::atomic<std::uint64_t> probes_sent_{0};
 };
 
 }  // namespace v6h::netsim

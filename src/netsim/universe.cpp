@@ -185,7 +185,10 @@ UniformityMode pick_honest_uniformity(Rng& rng) {
 
 }  // namespace
 
-Universe::Universe(const UniverseParams& params) : params_(params) { build(); }
+Universe::Universe(const UniverseParams& params, engine::Engine* engine)
+    : params_(params) {
+  build(engine);
+}
 
 const Zone* Universe::zone_at(const Address& a) const {
   const std::uint32_t* index = zone_trie_.longest_match(a);
@@ -206,22 +209,21 @@ std::string Universe::as_name(std::uint32_t asn) const {
   return "AS" + std::to_string(asn);
 }
 
-void Universe::build() {
+void Universe::build(engine::Engine* engine) {
   for (const auto& spec : kNamedAses) named_ases_.emplace_back(spec.asn, spec.name);
 
   const double scale = params_.scale;
-  auto scaled = [&](double base, std::uint32_t floor_value) {
+  auto scaled = [scale](double base, std::uint32_t floor_value) {
     return std::max<std::uint32_t>(
         floor_value, static_cast<std::uint32_t>(std::llround(base * scale)));
   };
 
-  std::uint32_t as_index = 0;
-  auto add_zone = [&](ZoneConfig config) {
-    const auto id = static_cast<std::uint64_t>(zones_.size() + 1);
-    const std::uint64_t key = hash64(params_.seed, id, 0x20E5);
-    zone_trie_.insert(config.prefix, static_cast<std::uint32_t>(zones_.size()));
-    if (config.aliased) aliased_prefixes_.push_back(config.prefix);
-    zones_.emplace_back(id, key, std::move(config));
+  // One AS = one generation shard: the builder lambdas below write
+  // into an AsPlan (no shared state), so plans can be generated on
+  // the engine workers and committed serially in AS order.
+  struct AsPlan {
+    std::vector<Announcement> announcements;
+    std::vector<ZoneConfig> zones;
   };
 
   // Each AS owns one /32; zones are /48 (or deeper) subnets of it,
@@ -237,13 +239,14 @@ void Universe::build() {
     return Prefix(a, 48);
   };
 
-  auto build_cdn_as = [&](std::uint32_t asn, std::uint32_t aliased_count,
-                          std::uint32_t honest_count, Rng& rng) {
+  auto build_cdn_as = [&](std::uint32_t as_index, std::uint32_t asn,
+                          std::uint32_t aliased_count,
+                          std::uint32_t honest_count, Rng& rng, AsPlan& plan) {
     const Prefix base32 = as_base(as_index);
     std::uint32_t j = 1;
     for (std::uint32_t z = 0; z < aliased_count; ++z) {
       const Prefix p48 = subnet48(base32, j++);
-      bgp_.add({p48, asn});
+      plan.announcements.push_back({p48, asn});
       ZoneConfig config;
       config.prefix = p48;
       config.asn = asn;
@@ -273,11 +276,11 @@ void Universe::build() {
       if (rng.uniform_real() < 0.10) {
         config.carveout = Prefix(p48.random_address(rng.next_u64()), 64);
       }
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     for (std::uint32_t z = 0; z < honest_count; ++z) {
       const Prefix p48 = subnet48(base32, j++);
-      bgp_.add({p48, asn});
+      plan.announcements.push_back({p48, asn});
       ZoneConfig config;
       config.prefix = p48;
       config.asn = asn;
@@ -291,14 +294,14 @@ void Universe::build() {
         config.quic_flaky = rng.uniform_real() < 0.5;
       }
       config.uniformity = pick_honest_uniformity(rng);
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
-    ++as_index;
   };
 
-  auto build_server_as = [&](std::uint32_t asn, bool hosting, Rng& rng) {
+  auto build_server_as = [&](std::uint32_t as_index, std::uint32_t asn,
+                             bool hosting, Rng& rng, AsPlan& plan) {
     const Prefix base32 = as_base(as_index);
-    bgp_.add({base32, asn});
+    plan.announcements.push_back({base32, asn});
     std::uint32_t j = 1;
     const AddressingScheme dominant = pick_scheme(rng);
     const std::uint32_t web_zones = 1 + static_cast<std::uint32_t>(rng.uniform(3));
@@ -317,7 +320,7 @@ void Universe::build() {
       }
       config.uniformity = pick_honest_uniformity(rng);
       config.rdns = rng.uniform_real() < 0.3;
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     if (hosting && rng.uniform_real() < 0.6) {
       ZoneConfig config;
@@ -330,7 +333,7 @@ void Universe::build() {
       config.machine_service = dns_mask();
       config.uniformity = pick_honest_uniformity(rng);
       config.rdns = rng.uniform_real() < 0.4;
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     if (hosting && rng.uniform_real() < 0.12) {
       // Deep aliased pockets inside honest space: the partial /96s and
@@ -352,7 +355,7 @@ void Universe::build() {
       } else if (rng.uniform_real() < 0.3) {
         config.loss = 0.02 + 0.06 * rng.uniform_real();
       }
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     if (rng.uniform_real() < 0.08) {
       ZoneConfig config;
@@ -364,7 +367,7 @@ void Universe::build() {
       config.discoverable = config.host_count * 3;
       config.machine_service = net::mask_of(net::Protocol::kIcmp) |
                                net::mask_of(net::Protocol::kTcp80);
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     if (rng.uniform_real() < 0.35) {
       ZoneConfig config;
@@ -375,14 +378,14 @@ void Universe::build() {
       config.host_count = 1 + static_cast<std::uint32_t>(rng.uniform(2));
       config.discoverable = config.host_count * 2;
       config.machine_service = net::mask_of(net::Protocol::kIcmp);
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
-    ++as_index;
   };
 
-  auto build_isp_as = [&](std::uint32_t asn, double size_factor, Rng& rng) {
+  auto build_isp_as = [&](std::uint32_t as_index, std::uint32_t asn,
+                          double size_factor, Rng& rng, AsPlan& plan) {
     const Prefix base32 = as_base(as_index);
-    bgp_.add({base32, asn});
+    plan.announcements.push_back({base32, asn});
     std::uint32_t j = 1;
     {
       ZoneConfig config;
@@ -397,7 +400,7 @@ void Universe::build() {
       config.lifetime_days = 25 + static_cast<int>(rng.uniform(30));
       config.phase = static_cast<int>(rng.uniform(60));
       config.rdns = size_factor > 4.0 || rng.uniform_real() < 0.25;
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     if (rng.uniform_real() < 0.5) {
       ZoneConfig config;
@@ -409,7 +412,7 @@ void Universe::build() {
       config.discoverable = config.host_count * 8;
       config.machine_service = web_mask();
       config.uniformity = pick_honest_uniformity(rng);
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
     if (rng.uniform_real() < 0.8) {
       ZoneConfig config;
@@ -420,51 +423,81 @@ void Universe::build() {
       config.host_count = 1 + static_cast<std::uint32_t>(rng.uniform(3));
       config.discoverable = config.host_count * 2;
       config.machine_service = net::mask_of(net::Protocol::kIcmp);
-      add_zone(std::move(config));
+      plan.zones.push_back(std::move(config));
     }
-    ++as_index;
   };
 
-  // Named ASes first (stable AS bases), then the long tail.
-  for (const auto& spec : kNamedAses) {
-    Rng rng(hash64(params_.seed, spec.asn, 0xA5));
-    switch (spec.role) {
-      case AsRole::kCdn:
-        if (spec.asn == 16509) {
-          build_cdn_as(spec.asn, 280, 60, rng);
-        } else if (spec.asn == 19551) {
-          build_cdn_as(spec.asn, 80, 10, rng);
-        } else {
-          build_cdn_as(spec.asn, 30, 20, rng);
+  // Named ASes first (stable AS bases), then the long tail. The plan
+  // for AS job i is a pure function of (seed, asn, i), so generation
+  // fans out across the engine workers.
+  const std::size_t named_count = std::size(kNamedAses);
+  const std::size_t job_count = named_count + params_.tail_as_count;
+  std::vector<AsPlan> plans(job_count);
+  auto generate = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      AsPlan& plan = plans[i];
+      const auto as_index = static_cast<std::uint32_t>(i);
+      if (i < named_count) {
+        const AsSpec& spec = kNamedAses[i];
+        Rng rng(hash64(params_.seed, spec.asn, 0xA5));
+        switch (spec.role) {
+          case AsRole::kCdn:
+            if (spec.asn == 16509) {
+              build_cdn_as(as_index, spec.asn, 280, 60, rng, plan);
+            } else if (spec.asn == 19551) {
+              build_cdn_as(as_index, spec.asn, 80, 10, rng, plan);
+            } else {
+              build_cdn_as(as_index, spec.asn, 30, 20, rng, plan);
+            }
+            break;
+          case AsRole::kHosting:
+            build_server_as(as_index, spec.asn, true, rng, plan);
+            break;
+          case AsRole::kIsp: {
+            double size_factor = 2.0;
+            if (spec.asn == 12322) size_factor = 25.0;  // ProXad: scamper's top AS
+            if (spec.asn == 7922) size_factor = 15.0;
+            if (spec.asn == 3320) size_factor = 12.0;
+            build_isp_as(as_index, spec.asn, size_factor, rng, plan);
+            break;
+          }
+          case AsRole::kStub:
+            build_server_as(as_index, spec.asn, false, rng, plan);
+            break;
         }
-        break;
-      case AsRole::kHosting:
-        build_server_as(spec.asn, true, rng);
-        break;
-      case AsRole::kIsp: {
-        double size_factor = 2.0;
-        if (spec.asn == 12322) size_factor = 25.0;  // ProXad: scamper's top AS
-        if (spec.asn == 7922) size_factor = 15.0;
-        if (spec.asn == 3320) size_factor = 12.0;
-        build_isp_as(spec.asn, size_factor, rng);
-        break;
+      } else {
+        const auto asn =
+            static_cast<std::uint32_t>(60000 + (i - named_count));
+        Rng rng(hash64(params_.seed, asn, 0xA5));
+        const double role = rng.uniform_real();
+        if (role < 0.40) {
+          build_isp_as(as_index, asn, 0.6 + rng.uniform_real(), rng, plan);
+        } else if (role < 0.85) {
+          build_server_as(as_index, asn, true, rng, plan);
+        } else {
+          build_server_as(as_index, asn, false, rng, plan);
+        }
       }
-      case AsRole::kStub:
-        build_server_as(spec.asn, false, rng);
-        break;
     }
+  };
+  if (engine != nullptr && engine->parallel()) {
+    engine->parallel_for(job_count, 16, generate);
+  } else {
+    generate(0, job_count);
   }
-  for (std::uint32_t i = 0; i < params_.tail_as_count; ++i) {
-    const std::uint32_t asn = 60000 + i;
-    Rng rng(hash64(params_.seed, asn, 0xA5));
-    const double role = rng.uniform_real();
-    if (role < 0.40) {
-      build_isp_as(asn, 0.6 + rng.uniform_real(), rng);
-    } else if (role < 0.85) {
-      build_server_as(asn, true, rng);
-    } else {
-      build_server_as(asn, false, rng);
-    }
+
+  // Serial commit in AS order: zone ids, keys, trie layout, and BGP
+  // order are independent of the generation schedule.
+  auto add_zone = [&](ZoneConfig config) {
+    const auto id = static_cast<std::uint64_t>(zones_.size() + 1);
+    const std::uint64_t key = hash64(params_.seed, id, 0x20E5);
+    zone_trie_.insert(config.prefix, static_cast<std::uint32_t>(zones_.size()));
+    if (config.aliased) aliased_prefixes_.push_back(config.prefix);
+    zones_.emplace_back(id, key, std::move(config));
+  };
+  for (auto& plan : plans) {
+    for (const auto& announcement : plan.announcements) bgp_.add(announcement);
+    for (auto& config : plan.zones) add_zone(std::move(config));
   }
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
 #include "ipv6/trie.h"
@@ -135,7 +136,13 @@ struct UniverseParams {
 
 class Universe {
  public:
-  explicit Universe(const UniverseParams& params = {});
+  /// With an engine, per-AS zone plans are generated on the workers
+  /// (each AS re-seeds its RNG from the universe seed + its ASN, so
+  /// no draw depends on the schedule) and committed serially in AS
+  /// order — zone ids, trie layout, and BGP order are byte-identical
+  /// to the serial build.
+  explicit Universe(const UniverseParams& params = {},
+                    engine::Engine* engine = nullptr);
 
   const UniverseParams& params() const { return params_; }
   const std::vector<Zone>& zones() const { return zones_; }
@@ -153,7 +160,7 @@ class Universe {
   std::string as_name(std::uint32_t asn) const;
 
  private:
-  void build();
+  void build(engine::Engine* engine);
 
   UniverseParams params_;
   std::vector<Zone> zones_;

@@ -1,21 +1,37 @@
 #include "probe/scanner.h"
 
+#include "engine/shard.h"
+
 namespace v6h::probe {
 
 ScanReport Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
                          const ScanOptions& options) {
   ScanReport report;
   report.day = day;
-  report.targets.reserve(targets.size());
-  for (const auto& address : targets) {
+  report.targets.resize(targets.size());
+  auto probe_target = [&](std::size_t i) {
     TargetResult result;
-    result.address = address;
+    result.address = targets[i];
     for (const auto protocol : options.protocols) {
-      if (sim_->probe(address, protocol, day, 0).responded) {
+      if (sim_->probe(targets[i], protocol, day, 0).responded) {
         result.responded_mask |= net::mask_of(protocol);
       }
     }
-    report.targets.push_back(result);
+    report.targets[i] = result;
+  };
+  if (engine_ != nullptr && engine_->parallel()) {
+    // Shard-batched on the workers; index-addressed writes keep the
+    // report order identical to the serial path.
+    const auto order = engine::shard_order(
+        targets, [](const ipv6::Address& a) { return engine::shard_of(a); });
+    engine_->parallel_for(targets.size(), 64,
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t k = begin; k < end; ++k) {
+                              probe_target(order[k]);
+                            }
+                          });
+  } else {
+    for (std::size_t i = 0; i < targets.size(); ++i) probe_target(i);
   }
   return report;
 }

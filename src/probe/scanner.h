@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/engine.h"
 #include "ipv6/address.h"
 #include "net/protocol.h"
 #include "netsim/network_sim.h"
@@ -46,17 +47,22 @@ struct ScanReport {
 
 class Scanner {
  public:
-  explicit Scanner(netsim::NetworkSim& sim) : sim_(&sim) {}
+  explicit Scanner(netsim::NetworkSim& sim, engine::Engine* engine = nullptr)
+      : sim_(&sim), engine_(engine) {}
 
   netsim::ProbeResult probe_once(const ipv6::Address& a, net::Protocol p, int day) {
     return sim_->probe(a, p, day, 0);
   }
 
+  /// Scan every target across the protocol set. With an engine
+  /// attached, targets are probed in per-shard batches on the worker
+  /// pool; report.targets stays in input order for any thread count.
   ScanReport scan(const std::vector<ipv6::Address>& targets, int day,
                   const ScanOptions& options = {});
 
  private:
   netsim::NetworkSim* sim_;
+  engine::Engine* engine_;
 };
 
 /// Figure 7: matrix[y][x] = Pr[protocol y responded | protocol x responded].

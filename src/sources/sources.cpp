@@ -61,8 +61,9 @@ double exp_curve(double x, double k) {
 }  // namespace
 
 SourceSimulator::SourceSimulator(const netsim::Universe& universe,
-                                 netsim::NetworkSim& sim)
-    : universe_(&universe), sim_(&sim) {
+                                 netsim::NetworkSim& sim,
+                                 engine::Engine* engine)
+    : universe_(&universe), sim_(&sim), engine_(engine) {
   for (std::size_t s = 0; s < netsim::kAllSources.size(); ++s) {
     Pool& pool = pools_[s];
     const auto& zones = universe_->zones();
@@ -128,6 +129,23 @@ CollectResult SourceSimulator::collect(SourceId source, int day) {
   return collect(source, day, {});
 }
 
+Address SourceSimulator::draw(SourceId source, std::uint64_t src_key,
+                              std::uint64_t n, int day, bool path_discovery,
+                              const std::vector<Address>& targets) const {
+  if (path_discovery && hash_unit(src_key, n, 0x77) < 0.2) {
+    // Router/CPE addresses discovered on the path toward a known
+    // target: same /48, arbitrary interface.
+    const auto& t = targets[hash64(src_key, n, 0x78) % targets.size()];
+    return Prefix(t, 48).random_address(hash64(src_key, n, 0x79));
+  }
+  const Zone& zone =
+      pick_zone(pools_[static_cast<std::size_t>(source)], hash64(src_key, n, 0x7A));
+  const auto pool_size = std::max<std::uint32_t>(1, zone.discoverable_count());
+  const auto index =
+      static_cast<std::uint32_t>(hash64(src_key, n, 0x7B) % pool_size);
+  return zone.discoverable_address(index, day);
+}
+
 CollectResult SourceSimulator::collect(SourceId source, int day,
                                        const std::vector<Address>& targets) {
   const auto s = static_cast<std::size_t>(source);
@@ -139,24 +157,31 @@ CollectResult SourceSimulator::collect(SourceId source, int day,
   CollectResult result;
   const bool path_discovery =
       source == SourceId::kScamper && !targets.empty();
-  while (state.drawn < target_count) {
-    const std::uint64_t n = state.drawn++;
-    Address a;
-    if (path_discovery && hash_unit(src_key, n, 0x77) < 0.2) {
-      // Router/CPE addresses discovered on the path toward a known
-      // target: same /48, arbitrary interface.
-      const auto& t = targets[hash64(src_key, n, 0x78) % targets.size()];
-      a = Prefix(t, 48).random_address(hash64(src_key, n, 0x79));
+  if (state.drawn < target_count) {
+    const std::uint64_t first = state.drawn;
+    const std::size_t count = static_cast<std::size_t>(target_count - first);
+    // Draws are pure in the draw index, so they run batched on the
+    // engine; the first-seen dedup below must stay serial in draw
+    // order to keep the hitlist order identical to the serial path.
+    std::vector<Address> drawn(count);
+    auto fill = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        drawn[k] = draw(source, src_key, first + k, day, path_discovery, targets);
+      }
+    };
+    if (engine_ != nullptr && engine_->parallel()) {
+      engine_->parallel_for(count, 256, fill);
     } else {
-      const Zone& zone = pick_zone(pools_[s], hash64(src_key, n, 0x7A));
-      const auto pool_size = std::max<std::uint32_t>(1, zone.discoverable_count());
-      const auto index =
-          static_cast<std::uint32_t>(hash64(src_key, n, 0x7B) % pool_size);
-      a = zone.discoverable_address(index, day);
+      fill(0, count);
     }
-    if (state.seen.insert(a).second) {
-      state.cumulative.push_back(a);
-      result.new_addresses.push_back(a);
+    state.drawn = target_count;
+    state.seen.reserve(static_cast<std::size_t>(target_count));
+    state.cumulative.reserve(static_cast<std::size_t>(target_count));
+    for (const auto& a : drawn) {
+      if (state.seen.insert(a).second) {
+        state.cumulative.push_back(a);
+        result.new_addresses.push_back(a);
+      }
     }
   }
   result.cumulative_count = state.cumulative.size();

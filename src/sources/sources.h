@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "engine/engine.h"
 #include "ipv6/address.h"
 #include "netsim/network_sim.h"
 #include "netsim/source_id.h"
@@ -24,10 +25,15 @@ struct CollectResult {
 
 class SourceSimulator {
  public:
-  SourceSimulator(const netsim::Universe& universe, netsim::NetworkSim& sim);
+  SourceSimulator(const netsim::Universe& universe, netsim::NetworkSim& sim,
+                  engine::Engine* engine = nullptr);
 
   /// Advance the source to `day` and return the addresses that are
-  /// new since the previous collect for this source.
+  /// new since the previous collect for this source. Each draw is a
+  /// pure function of (source key, draw index, day), so with an
+  /// engine attached the draws run batched on the workers while the
+  /// first-seen dedup stays serial in draw order — output identical
+  /// for any thread count.
   CollectResult collect(netsim::SourceId source, int day);
 
   /// Scamper overload: traceroute targets seed extra router-side
@@ -55,9 +61,13 @@ class SourceSimulator {
   std::uint64_t final_count(netsim::SourceId source) const;
   double growth_fraction(netsim::SourceId source, int day) const;
   const netsim::Zone& pick_zone(const Pool& pool, std::uint64_t r) const;
+  ipv6::Address draw(netsim::SourceId source, std::uint64_t src_key,
+                     std::uint64_t n, int day, bool path_discovery,
+                     const std::vector<ipv6::Address>& targets) const;
 
   const netsim::Universe* universe_;
   netsim::NetworkSim* sim_;
+  engine::Engine* engine_;
   std::array<State, netsim::kAllSources.size()> states_;
   std::array<Pool, netsim::kAllSources.size()> pools_;
 };
