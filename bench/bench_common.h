@@ -65,6 +65,7 @@ struct BenchArgs {
   int days = 3;          // pipeline days to run (fills the APD window)
   int horizon = 270;     // source-growth day used as "now"
   int threads = 0;       // engine workers; 0 = hardware concurrency, 1 = serial
+  bool rebuild_each_day = false;  // legacy full-rebuild day loop
   std::string out_dir = ".";
 
   static BenchArgs parse(int argc, char** argv) {
@@ -85,11 +86,14 @@ struct BenchArgs {
         args.horizon = detail::parse_int("--horizon", next_value("--horizon"));
       } else if (std::strcmp(argv[i], "--threads") == 0) {
         args.threads = detail::parse_int("--threads", next_value("--threads"));
+      } else if (std::strcmp(argv[i], "--rebuild-each-day") == 0) {
+        args.rebuild_each_day = true;
       } else if (std::strcmp(argv[i], "--out") == 0) {
         args.out_dir = next_value("--out");
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "flags: --scale S --days N --horizon D --threads T --out DIR\n");
+            "flags: --scale S --days N --horizon D --threads T --out DIR "
+            "--rebuild-each-day\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -104,8 +108,8 @@ struct BenchArgs {
       std::fprintf(stderr, "--days must be positive (got %d)\n", args.days);
       std::exit(2);
     }
-    if (args.horizon < 0) {
-      std::fprintf(stderr, "--horizon must be non-negative (got %d)\n",
+    if (args.horizon <= 0) {
+      std::fprintf(stderr, "--horizon must be positive (got %d)\n",
                    args.horizon);
       std::exit(2);
     }
@@ -128,6 +132,15 @@ struct BenchArgs {
     netsim::UniverseParams params;
     params.scale = scale;
     return params;
+  }
+
+  /// Pipeline options honoring --rebuild-each-day; every bench that
+  /// constructs a Pipeline goes through this so the escape hatch
+  /// works uniformly.
+  hitlist::PipelineOptions pipeline_options() const {
+    hitlist::PipelineOptions options;
+    options.rebuild_each_day = rebuild_each_day;
+    return options;
   }
 
   /// The sharded execution engine every bench routes its universe

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   bench::run_pipeline_days(pipeline, args);
 
   const auto by_prefix = hitlist::prefix_counter(pipeline.targets(), universe.bgp());

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
 
   bench::header("Figure 3a: clusters of UDP/53-responsive /32s (F9-32)");

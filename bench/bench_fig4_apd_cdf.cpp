@@ -15,10 +15,10 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   bench::run_pipeline_days(pipeline, args);
 
-  const auto filter = pipeline.alias_filter();
+  const auto& filter = pipeline.filter();
   std::vector<ipv6::Address> aliased, kept;
   for (const auto& a : pipeline.targets()) {
     (filter.is_aliased(a) ? aliased : kept).push_back(a);

@@ -2,6 +2,14 @@
 // responsive addresses as a baseline and re-probe them for 14 days.
 // QUIC responsiveness of the CT and AXFR sources is tracked separately
 // (the Akamai/HDNet flakiness).
+//
+// This bench doubles as the longitudinal perf tracker: it times every
+// run_day of the delta-driven pipeline, runs the --rebuild-each-day
+// baseline over the same days, and writes BENCH_pipeline.json (wall
+// time per day, probes, targets for both modes) to --out so the perf
+// trajectory is machine-readable from CI.
+
+#include <chrono>
 
 #include "bench_common.h"
 #include "probe/scanner.h"
@@ -17,6 +25,65 @@ struct Row {
   const char* paper_day13 = "";
 };
 
+struct DaySeries {
+  std::vector<double> day_ms;
+  std::vector<std::size_t> new_addresses;
+  std::vector<std::size_t> scanned_targets;
+  std::vector<std::uint64_t> probes;
+};
+
+// Run the day loop of `pipeline` (days ending at the horizon), timing
+// each run_day and recording the per-day probe delta.
+DaySeries run_timed_days(hitlist::Pipeline& pipeline, netsim::NetworkSim& sim,
+                         const bench::BenchArgs& args) {
+  DaySeries series;
+  std::uint64_t probes_before = sim.probes_sent();
+  for (int i = args.days - 1; i >= 0; --i) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto report = pipeline.run_day(args.horizon - i);
+    const auto stop = std::chrono::steady_clock::now();
+    series.day_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    series.new_addresses.push_back(report.new_addresses);
+    series.scanned_targets.push_back(report.scanned_targets);
+    series.probes.push_back(sim.probes_sent() - probes_before);
+    probes_before = sim.probes_sent();
+  }
+  return series;
+}
+
+std::string json_array(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3f", v[i]);
+    if (i) out += ",";
+    out += buffer;
+  }
+  return out + "]";
+}
+
+template <typename Int>
+std::string json_array(const std::vector<Int>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(static_cast<unsigned long long>(v[i]));
+  }
+  return out + "]";
+}
+
+std::string mode_json(const char* mode, const DaySeries& series) {
+  std::string out = "  \"";
+  out += mode;
+  out += "\": {\n    \"day_ms\": " + json_array(series.day_ms);
+  out += ",\n    \"new_addresses\": " + json_array(series.new_addresses);
+  out += ",\n    \"scanned_targets\": " + json_array(series.scanned_targets);
+  out += ",\n    \"probes\": " + json_array(series.probes);
+  out += "\n  }";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -26,8 +93,37 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
-  bench::run_pipeline_days(pipeline, args);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
+  const DaySeries primary = run_timed_days(pipeline, sim, args);
+
+  // The other mode over the same days, as the perf baseline pair:
+  // incremental vs full rebuild, byte-identical output by contract.
+  hitlist::PipelineOptions other_options = args.pipeline_options();
+  other_options.rebuild_each_day = !args.rebuild_each_day;
+  netsim::NetworkSim other_sim(universe);
+  hitlist::Pipeline other_pipeline(universe, other_sim, other_options, &eng);
+  const DaySeries other = run_timed_days(other_pipeline, other_sim, args);
+
+  {
+    const DaySeries& incremental = args.rebuild_each_day ? other : primary;
+    const DaySeries& rebuild = args.rebuild_each_day ? primary : other;
+    std::string json = "{\n  \"bench\": \"fig8_longitudinal\",\n";
+    json += "  \"scale\": " + std::to_string(args.scale) + ",\n";
+    json += "  \"days\": " + std::to_string(args.days) + ",\n";
+    json += "  \"threads\": " + std::to_string(args.threads) + ",\n";
+    json += "  \"hitlist\": " + std::to_string(pipeline.targets().size()) + ",\n";
+    json += mode_json("incremental", incremental) + ",\n";
+    json += mode_json("rebuild_each_day", rebuild) + "\n}\n";
+    bench::write_file(args.out_dir + "/BENCH_pipeline.json", json);
+    double inc_total = 0.0, reb_total = 0.0;
+    for (const double ms : incremental.day_ms) inc_total += ms;
+    for (const double ms : rebuild.day_ms) reb_total += ms;
+    std::printf(
+        "  day loop: incremental %.1f ms, rebuild-each-day %.1f ms over %d "
+        "days\n",
+        inc_total, reb_total, args.days);
+  }
+
   auto& sources = pipeline.source_simulator();
   probe::Scanner scanner(sim, &eng);
   const int day0 = args.horizon;
@@ -43,7 +139,7 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Row> rows;
-  const auto filter = pipeline.alias_filter();
+  const auto& filter = pipeline.filter();
   for (const auto source : netsim::kAllSources) {
     std::vector<ipv6::Address> members;
     for (const auto& a : sources.cumulative(source)) {

@@ -15,10 +15,10 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   bench::run_pipeline_days(pipeline, args);
   const auto& targets = pipeline.targets();
-  const auto ours = pipeline.alias_filter();
+  const auto& ours = pipeline.filter();
 
   netsim::NetworkSim murdock_sim(universe);
   const auto murdock = apd::murdock_detect(murdock_sim, targets, args.horizon);

@@ -20,12 +20,12 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   bench::run_pipeline_days(pipeline, args);
 
   // Seeds: non-aliased hitlist addresses, grouped by AS, >= the scaled
   // equivalent of the paper's 100-address AS gate, capped samples.
-  const auto filter = pipeline.alias_filter();
+  const auto& filter = pipeline.filter();
   std::map<std::uint32_t, std::vector<ipv6::Address>> by_as;
   for (const auto& a : pipeline.targets()) {
     if (filter.is_aliased(a)) continue;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
 
   const auto tree = rdns::RdnsTree::build(universe);
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
                      " in top-10 ASes");
 
   // Responsiveness: filter unrouted/aliased, then probe.
-  const auto filter = pipeline.alias_filter();
+  const auto& filter = pipeline.filter();
   std::vector<ipv6::Address> probe_list;
   std::size_t filtered_aliased = 0;
   for (const auto& a : walk.addresses) {

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   auto eng = args.make_engine();
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, {}, &eng);
+  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   // Scanning is not needed for this table; APD off keeps it fast.
   // (The pipeline still traceroutes for the scamper source.)
   sources::SourceSimulator& sources = pipeline.source_simulator();

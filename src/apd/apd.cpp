@@ -1,6 +1,7 @@
 #include "apd/apd.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 
 #include "engine/shard.h"
@@ -10,6 +11,88 @@ namespace v6h::apd {
 
 using ipv6::Address;
 using ipv6::Prefix;
+
+namespace {
+
+// The multi-level aggregation of Section 5.2: every hitlist address
+// counts toward its /48../112 aggregates plus its announced prefix
+// (unless that coincides with a fixed level, which must not count the
+// address twice). Shared by the daily full recount and the
+// incremental counter so the two can never drift apart.
+constexpr std::uint8_t kLevels[] = {48, 64, 96, 112};
+
+template <typename Map>
+void count_address_levels(const Address& a, const netsim::BgpTable& bgp,
+                          Map& counts) {
+  for (const auto level : kLevels) {
+    ++counts[Prefix(a, level)];
+  }
+  if (const auto* announcement = bgp.lookup(a)) {
+    const std::uint8_t length = announcement->prefix.length();
+    bool already_counted = false;
+    for (const auto level : kLevels) already_counted |= level == length;
+    if (!already_counted) ++counts[announcement->prefix];
+  }
+}
+
+}  // namespace
+
+CandidateCounter::CandidateCounter(const netsim::BgpTable& bgp,
+                                   std::size_t min_targets,
+                                   engine::Engine* engine)
+    // min_targets 0 behaves like 1: the full recount admits every
+    // *counted* prefix (counts start at 1), and the crossing check
+    // below must agree — a fresh counter entry starts at 0, which
+    // would otherwise read as "already a candidate" and never cross.
+    : bgp_(&bgp),
+      min_targets_(std::max<std::size_t>(1, min_targets)),
+      engine_(engine) {}
+
+std::vector<Prefix> CandidateCounter::add_addresses(const Address* addrs,
+                                                    std::size_t count) {
+  if (count == 0) return {};
+  using LocalMap = std::unordered_map<Prefix, std::size_t, ipv6::PrefixHash>;
+  std::array<LocalMap, engine::kShardCount> local;
+  // Count: one hash map per top-bits shard, whole buckets on the
+  // engine workers. All level prefixes of an address live in its
+  // shard (every level is at or below /48 > kShardDepth); only an
+  // announced prefix shorter than the shard key can straddle buckets,
+  // and the commutative merge below absorbs that.
+  const auto partition = engine::shard_partition(
+      addrs, count, [](const Address& a) { return engine::shard_of(a); });
+  auto count_shards = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      for (std::uint32_t k = partition.bounds[s]; k < partition.bounds[s + 1];
+           ++k) {
+        count_address_levels(addrs[partition.order[k]], *bgp_, local[s]);
+      }
+    }
+  };
+  if (engine_ != nullptr && engine_->parallel()) {
+    engine_->parallel_for(engine::kShardCount, 1, count_shards);
+  } else {
+    count_shards(0, engine::kShardCount);
+  }
+  // Merge: serial, in shard order. Counts only ever grow, so a prefix
+  // crosses min_targets at most once — the crossing set is a pure
+  // function of the address set regardless of hash-map iteration
+  // order, and sorting makes the returned order canonical too.
+  std::vector<Prefix> crossed;
+  for (const auto& shard_counts : local) {
+    for (const auto& [prefix, added] : shard_counts) {
+      auto& total = counts_[prefix];
+      const bool was_candidate = total >= min_targets_;
+      total += added;
+      if (!was_candidate && total >= min_targets_) crossed.push_back(prefix);
+    }
+  }
+  std::sort(crossed.begin(), crossed.end());
+  const auto middle = candidates_.size();
+  candidates_.insert(candidates_.end(), crossed.begin(), crossed.end());
+  std::inplace_merge(candidates_.begin(), candidates_.begin() + middle,
+                     candidates_.end());
+  return crossed;
+}
 
 AliasDetector::AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options,
                              engine::Engine* engine)
@@ -56,29 +139,27 @@ DayOutcome AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixe
     auto [it, inserted] =
         state_.try_emplace(prefix, SlidingVerdict(options_.window_days));
     (void)inserted;
+    // The effective previous verdict — a prefix without one yet is
+    // clean, so a first-day aliased verdict is a became_aliased event
+    // even though the Table-4 flip counter (which measures verdict
+    // *instability*) does not count it.
+    const bool previous = it->second.has_verdict() && it->second.verdict();
     if (it->second.update(outcomes[i].aliased)) ++flips_[prefix];
-    if (it->second.verdict()) out.aliased.push_back(prefix);
+    const bool current = it->second.verdict();
+    if (current != previous) {
+      (current ? out.became_aliased : out.became_clean).push_back(prefix);
+    }
+    if (current) out.aliased.push_back(prefix);
   }
   return out;
 }
 
 std::vector<Prefix> AliasDetector::candidate_prefixes(
     const std::vector<Address>& targets) const {
-  static constexpr std::uint8_t kLevels[] = {48, 64, 96, 112};
   std::unordered_map<Prefix, std::size_t, ipv6::PrefixHash> counts;
   const auto& bgp = sim_->universe().bgp();
   for (const auto& a : targets) {
-    for (const auto level : kLevels) {
-      ++counts[Prefix(a, level)];
-    }
-    // The announced prefix is one more level — unless it coincides
-    // with a fixed level, which must not count the address twice.
-    if (const auto* announcement = bgp.lookup(a)) {
-      const std::uint8_t length = announcement->prefix.length();
-      bool already_counted = false;
-      for (const auto level : kLevels) already_counted |= level == length;
-      if (!already_counted) ++counts[announcement->prefix];
-    }
+    count_address_levels(a, bgp, counts);
   }
   std::vector<Prefix> out;
   for (const auto& [prefix, count] : counts) {

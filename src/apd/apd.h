@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/engine.h"
@@ -34,6 +35,12 @@ struct PrefixOutcome {
 struct DayOutcome {
   std::vector<ipv6::Prefix> aliased;  // windowed verdicts, this batch
   std::uint64_t probes = 0;
+  // Verdict transitions relative to the effective previous verdict (a
+  // never-probed prefix counts as clean), in batch order. These are
+  // the exact delta the persistent AliasFilter applies in place, so a
+  // prefix appears here if and only if its filter membership changes.
+  std::vector<ipv6::Prefix> became_aliased;
+  std::vector<ipv6::Prefix> became_clean;
 };
 
 /// Table-4 sliding-window smoother for one prefix: the windowed
@@ -46,12 +53,18 @@ class SlidingVerdict {
       : window_days_(window_days) {}
 
   /// Feed today's raw outcome; returns true when the windowed verdict
-  /// flipped relative to the previous day.
+  /// flipped relative to the previous day. O(1): the verdict is
+  /// "positives in window > 0", tracked by a counter instead of
+  /// re-scanning the deque, so long windows (Table 4 explores up to
+  /// the full campaign) cost the same as short ones.
   bool update(bool aliased_today) {
     history_.push_back(aliased_today);
-    while (history_.size() > window_days_ + 1) history_.pop_front();
-    bool verdict = false;
-    for (const bool positive : history_) verdict |= positive;
+    positives_ += aliased_today;
+    while (history_.size() > window_days_ + 1) {
+      positives_ -= history_.front();
+      history_.pop_front();
+    }
+    const bool verdict = positives_ > 0;
     const bool flipped = has_verdict_ && verdict != verdict_;
     verdict_ = verdict;
     has_verdict_ = true;
@@ -64,8 +77,43 @@ class SlidingVerdict {
  private:
   std::deque<bool> history_;
   unsigned window_days_ = 0;
+  unsigned positives_ = 0;
   bool verdict_ = false;
   bool has_verdict_ = false;
+};
+
+/// Persistent multi-level candidate counters for the delta-driven day
+/// loop: instead of re-counting the whole hitlist x 5 levels every
+/// day (AliasDetector::candidate_prefixes), fold in only the day's
+/// new addresses. Counting runs as per-shard hash maps on the engine
+/// workers followed by a serial merge in shard order, so the
+/// candidate set — and therefore every downstream probe — is
+/// byte-identical for any thread count and to the full recount.
+class CandidateCounter {
+ public:
+  CandidateCounter(const netsim::BgpTable& bgp, std::size_t min_targets,
+                   engine::Engine* engine = nullptr);
+
+  /// Count `count` new (already deduplicated) addresses into the
+  /// persistent per-prefix counters; returns the prefixes whose count
+  /// crossed min_targets on this call, sorted. The sorted candidate
+  /// list below absorbs them immediately.
+  std::vector<ipv6::Prefix> add_addresses(const ipv6::Address* addrs,
+                                          std::size_t count);
+
+  /// All prefixes holding >= min_targets hitlist addresses, sorted —
+  /// the same set (and order) AliasDetector::candidate_prefixes
+  /// derives from the cumulative hitlist.
+  const std::vector<ipv6::Prefix>& candidates() const { return candidates_; }
+
+  std::size_t tracked_prefixes() const { return counts_.size(); }
+
+ private:
+  const netsim::BgpTable* bgp_;
+  std::size_t min_targets_;
+  engine::Engine* engine_;
+  std::unordered_map<ipv6::Prefix, std::size_t, ipv6::PrefixHash> counts_;
+  std::vector<ipv6::Prefix> candidates_;
 };
 
 class AliasDetector {

@@ -14,8 +14,10 @@
 // across uneven shards comes from work-stealing over sub-shard
 // chunks, not from the shard boundaries.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ipv6/address.h"
@@ -49,25 +51,46 @@ inline std::size_t shard_last(const ipv6::Prefix& p) {
   return shard_first(p) + (std::size_t{1} << (kShardDepth - p.length())) - 1;
 }
 
-/// Stable shard-grouped processing order: indices 0..n-1 bucketed by
-/// shard (counting sort), input order preserved within a shard.
-/// Workers chunk this order while outputs stay index-addressed, so
-/// the deterministic merge is simply "read results in input order".
+/// Stable shard grouping plus the bucket boundaries:
+/// order[bounds[s]..bounds[s+1]) are the indices of shard `s`
+/// (counting sort, input order preserved within a shard). The
+/// count-then-merge stages (candidate counting) hand each whole bucket
+/// to one worker and then merge the per-shard results serially in
+/// shard order, so the merge is schedule-independent.
+struct ShardPartition {
+  std::vector<std::uint32_t> order;
+  std::array<std::uint32_t, kShardCount + 1> bounds{};
+};
+
+template <typename Item, typename ShardOf>
+ShardPartition shard_partition(const Item* items, std::size_t count,
+                               ShardOf&& shard_of_item) {
+  ShardPartition out;
+  std::vector<std::uint32_t> shards(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards[i] = static_cast<std::uint32_t>(shard_of_item(items[i]));
+    ++out.bounds[shards[i] + 1];
+  }
+  for (std::size_t s = 1; s <= kShardCount; ++s) {
+    out.bounds[s] += out.bounds[s - 1];
+  }
+  auto cursor = out.bounds;
+  out.order.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.order[cursor[shards[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  return out;
+}
+
+/// Shard-grouped processing order without the boundaries: workers
+/// chunk this order while outputs stay index-addressed, so the
+/// deterministic merge is simply "read results in input order".
 template <typename Item, typename ShardOf>
 std::vector<std::uint32_t> shard_order(const std::vector<Item>& items,
                                        ShardOf&& shard_of_item) {
-  std::vector<std::uint32_t> counts(kShardCount + 1, 0);
-  std::vector<std::uint32_t> shards(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    shards[i] = static_cast<std::uint32_t>(shard_of_item(items[i]));
-    ++counts[shards[i] + 1];
-  }
-  for (std::size_t s = 1; s <= kShardCount; ++s) counts[s] += counts[s - 1];
-  std::vector<std::uint32_t> order(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    order[counts[shards[i]]++] = static_cast<std::uint32_t>(i);
-  }
-  return order;
+  return shard_partition(items.data(), items.size(),
+                         std::forward<ShardOf>(shard_of_item))
+      .order;
 }
 
 }  // namespace v6h::engine

@@ -1,5 +1,7 @@
 #include "hitlist/pipeline.h"
 
+#include <algorithm>
+
 namespace v6h::hitlist {
 
 using ipv6::Address;
@@ -7,6 +9,10 @@ using ipv6::Prefix;
 
 AliasFilter::AliasFilter(std::vector<Prefix> prefixes)
     : prefixes_(std::move(prefixes)), any_(!prefixes_.empty()) {
+  // Sorted membership is the invariant insert/remove maintain (and
+  // the order prefixes() promises); current_aliased() already hands
+  // the set over sorted, so this is a no-op on the rebuild path.
+  std::sort(prefixes_.begin(), prefixes_.end());
   for (const auto& prefix : prefixes_) {
     const std::size_t first = engine::shard_first(prefix);
     const std::size_t last = engine::shard_last(prefix);
@@ -16,10 +22,42 @@ AliasFilter::AliasFilter(std::vector<Prefix> prefixes)
   }
 }
 
+void AliasFilter::insert(const Prefix& prefix) {
+  const auto it =
+      std::lower_bound(prefixes_.begin(), prefixes_.end(), prefix);
+  if (it != prefixes_.end() && *it == prefix) return;
+  prefixes_.insert(it, prefix);
+  const std::size_t first = engine::shard_first(prefix);
+  const std::size_t last = engine::shard_last(prefix);
+  for (std::size_t shard = first; shard <= last; ++shard) {
+    tries_[shard].insert(prefix, true);
+  }
+  any_ = true;
+}
+
+void AliasFilter::remove(const Prefix& prefix) {
+  const auto it =
+      std::lower_bound(prefixes_.begin(), prefixes_.end(), prefix);
+  if (it == prefixes_.end() || *it != prefix) return;
+  prefixes_.erase(it);
+  const std::size_t first = engine::shard_first(prefix);
+  const std::size_t last = engine::shard_last(prefix);
+  for (std::size_t shard = first; shard <= last; ++shard) {
+    tries_[shard].erase(prefix);
+  }
+  any_ = !prefixes_.empty();
+}
+
 void AliasFilter::is_aliased_many(const std::vector<Address>& in,
                                   std::vector<char>* aliased,
                                   engine::Engine* engine) const {
-  aliased->assign(in.size(), 0);
+  is_aliased_many(in.data(), in.size(), aliased, engine);
+}
+
+void AliasFilter::is_aliased_many(const Address* in, std::size_t count,
+                                  std::vector<char>* aliased,
+                                  engine::Engine* engine) const {
+  aliased->assign(count, 0);
   if (!any_) return;
   auto run = [&](std::size_t begin, std::size_t end) {
     constexpr std::size_t kBatch = 128;
@@ -38,9 +76,9 @@ void AliasFilter::is_aliased_many(const std::vector<Address>& in,
     }
   };
   if (engine != nullptr && engine->parallel()) {
-    engine->parallel_for(in.size(), 512, run);
+    engine->parallel_for(count, 512, run);
   } else {
-    run(0, in.size());
+    run(0, count);
   }
 }
 
@@ -51,47 +89,93 @@ Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
       engine_(engine),
       sources_(universe, sim, engine),
       detector_(sim, options_.apd, engine),
+      counter_(universe.bgp(), options_.apd.min_targets, engine),
       scanner_(sim, engine) {}
 
 Pipeline::DayReport Pipeline::run_day(int day) {
   DayReport report;
   report.day = day;
+  DayDelta delta;
+  delta.day = day;
+  delta.first_new_row = static_cast<std::uint32_t>(store_.size());
 
   // 1. Collect: every source contributes its day-`day` snapshot; the
-  // scamper source traceroutes toward the hitlist so far.
+  // scamper source traceroutes toward the hitlist so far. The
+  // first-seen dedup stays serial in draw order (TargetStore::insert),
+  // so row order is identical for any thread count.
   for (const auto source : netsim::kAllSources) {
-    const auto result = source == netsim::SourceId::kScamper
-                            ? sources_.collect(source, day, targets_)
-                            : sources_.collect(source, day);
+    const auto result =
+        source == netsim::SourceId::kScamper
+            ? sources_.collect(source, day, store_.addresses())
+            : sources_.collect(source, day);
     for (const auto& a : result.new_addresses) {
-      if (seen_.insert(a).second) {
-        targets_.push_back(a);
-        ++report.new_addresses;
-      }
+      if (store_.insert(a, day)) ++report.new_addresses;
     }
   }
+  delta.row_count = static_cast<std::uint32_t>(store_.size());
 
-  // 2. APD over the multi-level candidates of the current hitlist.
-  const auto candidates = detector_.candidate_prefixes(targets_);
-  detector_.run_day_on_prefixes(candidates, day);
-  const AliasFilter filter = alias_filter();
-  report.aliased_prefixes = filter.prefixes().size();
-
-  // 3. Scan everything not inside detected aliased space.
-  std::vector<char> aliased;
-  filter.is_aliased_many(targets_, &aliased, engine_);
-  std::vector<Address> scan_targets;
-  scan_targets.reserve(targets_.size());
-  for (std::size_t i = 0; i < targets_.size(); ++i) {
-    if (!aliased[i]) scan_targets.push_back(targets_[i]);
+  // 2. APD over the multi-level candidates. Incremental: fold only
+  // the day's new rows into the persistent counters. Rebuild hatch:
+  // re-count the whole hitlist. Either way the candidate batch — and
+  // so every probe — is the same, which is what keeps the two paths
+  // byte-identical: the windowed verdict of a prefix depends on its
+  // full daily probe history.
+  std::vector<Prefix> recounted;
+  if (options_.rebuild_each_day) {
+    recounted = detector_.candidate_prefixes(store_.addresses());
+  } else {
+    counter_.add_addresses(store_.addresses().data() + delta.first_new_row,
+                           delta.new_addresses());
   }
+  const auto& candidates =
+      options_.rebuild_each_day ? recounted : counter_.candidates();
+  auto outcome = detector_.run_day_on_prefixes(candidates, day);
+  delta.became_aliased = std::move(outcome.became_aliased);
+  delta.became_clean = std::move(outcome.became_clean);
+
+  // 3. Alias filter + per-row verdict flags.
+  if (options_.rebuild_each_day) {
+    filter_ = AliasFilter(detector_.current_aliased());
+    std::vector<char> aliased;
+    filter_.is_aliased_many(store_.addresses(), &aliased, engine_);
+    for (std::size_t row = 0; row < aliased.size(); ++row) {
+      store_.set_aliased(row, aliased[row] != 0);
+    }
+  } else {
+    // Apply the verdict transitions in place, then re-filter exactly
+    // the rows whose answer can have changed: the day's new rows
+    // (all flags start clean) and the members of flipped prefixes —
+    // a row outside every flipped prefix keeps yesterday's longest
+    // match. Overlap between the two sets is harmless: both assign
+    // the same freshly-computed verdict.
+    for (const auto& prefix : delta.became_aliased) filter_.insert(prefix);
+    for (const auto& prefix : delta.became_clean) filter_.remove(prefix);
+    std::vector<char> aliased;
+    filter_.is_aliased_many(store_.addresses().data() + delta.first_new_row,
+                            delta.new_addresses(), &aliased, engine_);
+    for (std::size_t i = 0; i < aliased.size(); ++i) {
+      store_.set_aliased(delta.first_new_row + i, aliased[i] != 0);
+    }
+    std::vector<std::uint32_t> affected;
+    for (const auto& prefix : delta.became_aliased) {
+      store_.rows_within(prefix, &affected);
+    }
+    for (const auto& prefix : delta.became_clean) {
+      store_.rows_within(prefix, &affected);
+    }
+    for (const auto row : affected) {
+      store_.set_aliased(row, filter_.is_aliased(store_.address(row)));
+    }
+  }
+  report.aliased_prefixes = filter_.prefixes().size();
+
+  // 4. Scan everything not inside detected aliased space.
+  std::vector<Address> scan_targets;
+  store_.unaliased_addresses(&scan_targets);
   report.scanned_targets = scan_targets.size();
   report.scan = scanner_.scan(scan_targets, day, options_.scan);
+  delta_ = std::move(delta);
   return report;
-}
-
-AliasFilter Pipeline::alias_filter() const {
-  return AliasFilter(detector_.current_aliased());
 }
 
 }  // namespace v6h::hitlist

@@ -3,15 +3,23 @@
 // The daily hitlist pipeline of the paper: collect from all sources,
 // run APD over the candidate prefixes, then scan the de-aliased
 // targets across the protocol set.
+//
+// The day loop is delta-driven: each run_day folds only the day's new
+// addresses into the persistent candidate counters, applies the APD
+// verdict transitions to a persistent alias filter in place, and
+// re-filters only the new rows plus the members of flipped prefixes.
+// PipelineOptions::rebuild_each_day is the legacy escape hatch that
+// recomputes all three from the cumulative hitlist; both paths yield
+// byte-identical DayReport sequences (tests/test_pipeline_incremental).
 
 #include <array>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "apd/apd.h"
 #include "engine/engine.h"
 #include "engine/shard.h"
+#include "hitlist/target_store.h"
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
 #include "ipv6/trie.h"
@@ -25,17 +33,29 @@ namespace v6h::hitlist {
 struct PipelineOptions {
   probe::ScanOptions scan;
   apd::ApdOptions apd;
+  /// Legacy full-rebuild day loop: re-count candidates over the whole
+  /// hitlist, rebuild the alias filter, and re-filter every target
+  /// each day. Output is byte-identical to the incremental default;
+  /// only the per-day cost differs.
+  bool rebuild_each_day = false;
 };
 
-/// Value-type snapshot of the APD verdicts; cheap to copy around the
-/// bench analyses. Prefixes are partitioned by top bits into
-/// per-shard tries (a prefix shorter than the shard width is
-/// replicated into every shard it overlaps), so batched filtering can
-/// run shard-local on the engine workers.
+/// The APD verdict set as a queryable filter. Prefixes are
+/// partitioned by top bits into per-shard tries (a prefix shorter
+/// than the shard width is replicated into every shard it overlaps),
+/// so batched filtering can run shard-local on the engine workers.
+/// Mutable in place: the pipeline applies each day's verdict
+/// transitions as insert/remove instead of rebuilding the tries.
 class AliasFilter {
  public:
   AliasFilter() = default;
   explicit AliasFilter(std::vector<ipv6::Prefix> prefixes);
+
+  /// Add `prefix` to the aliased set (no-op when present).
+  void insert(const ipv6::Prefix& prefix);
+
+  /// Drop `prefix` from the aliased set (no-op when absent).
+  void remove(const ipv6::Prefix& prefix);
 
   bool is_aliased(const ipv6::Address& a) const {
     // `any_` hoists the old per-call trie emptiness test out of the
@@ -50,7 +70,11 @@ class AliasFilter {
   void is_aliased_many(const std::vector<ipv6::Address>& in,
                        std::vector<char>* aliased,
                        engine::Engine* engine = nullptr) const;
+  void is_aliased_many(const ipv6::Address* in, std::size_t count,
+                       std::vector<char>* aliased,
+                       engine::Engine* engine = nullptr) const;
 
+  /// The aliased set, sorted.
   const std::vector<ipv6::Prefix>& prefixes() const { return prefixes_; }
 
  private:
@@ -80,9 +104,26 @@ class Pipeline {
   DayReport run_day(int day);
 
   /// Cumulative hitlist (pre-APD, deduplicated, insertion order).
-  const std::vector<ipv6::Address>& targets() const { return targets_; }
+  const std::vector<ipv6::Address>& targets() const {
+    return store_.addresses();
+  }
 
-  AliasFilter alias_filter() const;
+  /// Columnar per-target state (first-seen day, aliased flag, shard).
+  const TargetStore& store() const { return store_; }
+
+  /// What the most recent run_day changed.
+  const DayDelta& last_delta() const { return delta_; }
+
+  /// The persistent alias filter, kept current by run_day.
+  const AliasFilter& filter() const { return filter_; }
+
+  /// Deprecated copying accessor; use filter() — the filter is now a
+  /// persistent member, so callers no longer need a by-value build.
+  [[deprecated("use filter() instead")]] AliasFilter alias_filter() const {
+    return filter_;
+  }
+
+  const apd::AliasDetector& detector() const { return detector_; }
 
   sources::SourceSimulator& source_simulator() { return sources_; }
 
@@ -94,9 +135,11 @@ class Pipeline {
   engine::Engine* engine_;
   sources::SourceSimulator sources_;
   apd::AliasDetector detector_;
+  apd::CandidateCounter counter_;
   probe::Scanner scanner_;
-  std::vector<ipv6::Address> targets_;
-  std::unordered_set<ipv6::Address, ipv6::AddressHash> seen_;
+  TargetStore store_;
+  AliasFilter filter_;
+  DayDelta delta_;
 };
 
 }  // namespace v6h::hitlist

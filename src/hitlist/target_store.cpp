@@ -1,0 +1,45 @@
+#include "hitlist/target_store.h"
+
+#include "engine/shard.h"
+
+namespace v6h::hitlist {
+
+using ipv6::Address;
+using ipv6::Prefix;
+
+bool TargetStore::insert(const Address& a, int day) {
+  const auto row = static_cast<std::uint32_t>(addresses_.size());
+  if (!by_address_.emplace(a, row).second) return false;
+  addresses_.push_back(a);
+  first_seen_.push_back(day);
+  aliased_.push_back(0);
+  shards_.push_back(static_cast<std::uint8_t>(engine::shard_of(a)));
+  return true;
+}
+
+void TargetStore::rows_within(const Prefix& prefix,
+                              std::vector<std::uint32_t>* rows) const {
+  const Address& base = prefix.address();
+  // Highest address inside the prefix: host bits forced to one.
+  Address last = base;
+  const unsigned length = prefix.length();
+  if (length < 64) {
+    last.hi |= length == 0 ? ~0ULL : ~0ULL >> length;
+    last.lo = ~0ULL;
+  } else if (length < 128) {
+    last.lo |= ~0ULL >> (length - 64);
+  }
+  for (auto it = by_address_.lower_bound(base);
+       it != by_address_.end() && !(last < it->first); ++it) {
+    rows->push_back(it->second);
+  }
+}
+
+void TargetStore::unaliased_addresses(std::vector<Address>* out) const {
+  out->reserve(out->size() + addresses_.size());
+  for (std::size_t row = 0; row < addresses_.size(); ++row) {
+    if (aliased_[row] == 0) out->push_back(addresses_[row]);
+  }
+}
+
+}  // namespace v6h::hitlist

@@ -1,0 +1,69 @@
+#pragma once
+
+// Columnar (struct-of-arrays) backing store for the cumulative
+// hitlist — the shared substrate of the delta-driven day loop. One
+// row per unique address, in first-seen order; the columns the day
+// stages need (first-seen day, current aliased verdict, top-bits
+// shard) live in their own dense arrays so a stage touches only the
+// bytes it reads. An ordered address index supports both first-seen
+// dedup and "all targets inside this prefix" range queries, which is
+// how a verdict flip re-evaluates exactly its members instead of the
+// whole hitlist.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+
+namespace v6h::hitlist {
+
+/// What one run_day changed, instead of re-deriving the world: the
+/// appended row range plus the alias-verdict transitions. New rows
+/// are always a suffix of the store (rows are append-only), so the
+/// delta is two integers and the flip lists.
+struct DayDelta {
+  int day = -1;
+  std::uint32_t first_new_row = 0;  // new rows are [first_new_row, row_count)
+  std::uint32_t row_count = 0;      // store size after the day
+  std::vector<ipv6::Prefix> became_aliased;
+  std::vector<ipv6::Prefix> became_clean;
+
+  std::size_t new_addresses() const { return row_count - first_new_row; }
+};
+
+class TargetStore {
+ public:
+  /// First-seen dedup: appends a row when `a` is new and returns
+  /// true; a duplicate leaves the store untouched.
+  bool insert(const ipv6::Address& a, int day);
+
+  std::size_t size() const { return addresses_.size(); }
+  const std::vector<ipv6::Address>& addresses() const { return addresses_; }
+  const ipv6::Address& address(std::size_t row) const { return addresses_[row]; }
+  int first_seen_day(std::size_t row) const { return first_seen_[row]; }
+  bool aliased(std::size_t row) const { return aliased_[row] != 0; }
+  std::uint8_t shard(std::size_t row) const { return shards_[row]; }
+
+  void set_aliased(std::size_t row, bool value) { aliased_[row] = value; }
+
+  /// Append the rows whose address lies inside `prefix` (ascending
+  /// address order) — O(log n + members) via the ordered index, so a
+  /// flipped prefix re-filters only its members.
+  void rows_within(const ipv6::Prefix& prefix,
+                   std::vector<std::uint32_t>* rows) const;
+
+  /// Append every non-aliased address in row (= first-seen) order:
+  /// the day's scan list.
+  void unaliased_addresses(std::vector<ipv6::Address>* out) const;
+
+ private:
+  std::vector<ipv6::Address> addresses_;
+  std::vector<std::int32_t> first_seen_;
+  std::vector<char> aliased_;
+  std::vector<std::uint8_t> shards_;
+  std::map<ipv6::Address, std::uint32_t> by_address_;
+};
+
+}  // namespace v6h::hitlist

@@ -29,11 +29,38 @@ class PrefixTrie {
       node = static_cast<std::size_t>(nodes_[node].child[bit]);
     }
     if (nodes_[node].value < 0) {
-      nodes_[node].value = static_cast<std::int32_t>(values_.size());
-      values_.push_back(std::move(value));
+      if (free_slots_.empty()) {
+        nodes_[node].value = static_cast<std::int32_t>(values_.size());
+        values_.push_back(std::move(value));
+      } else {
+        nodes_[node].value = free_slots_.back();
+        free_slots_.pop_back();
+        values_[static_cast<std::size_t>(nodes_[node].value)] = std::move(value);
+      }
+      ++live_;
     } else {
       values_[static_cast<std::size_t>(nodes_[node].value)] = std::move(value);
     }
+  }
+
+  /// Unlink `prefix`'s value; returns false when that exact prefix is
+  /// not present. Interior nodes stay (lookups never see them), the
+  /// value slot goes on a freelist for the next insert — the alias
+  /// filter flips prefixes in and out daily, so erase must not leak.
+  bool erase(const Prefix& prefix) {
+    std::size_t node = 0;
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      const unsigned bit = prefix.address().bit(depth) ? 1 : 0;
+      const std::int32_t next = nodes_[node].child[bit];
+      if (next < 0) return false;
+      node = static_cast<std::size_t>(next);
+    }
+    if (nodes_[node].value < 0) return false;
+    values_[static_cast<std::size_t>(nodes_[node].value)] = T{};
+    free_slots_.push_back(nodes_[node].value);
+    nodes_[node].value = -1;
+    --live_;
+    return true;
   }
 
   /// Value of the most specific prefix containing `a`, or nullptr.
@@ -74,8 +101,8 @@ class PrefixTrie {
     return v < 0 ? nullptr : &values_[static_cast<std::size_t>(v)];
   }
 
-  std::size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
 
  private:
   struct Node {
@@ -86,6 +113,8 @@ class PrefixTrie {
   // deque, not vector: vector<bool>'s proxy references would break the
   // pointer-returning lookups.
   std::deque<T> values_;
+  std::vector<std::int32_t> free_slots_;
+  std::size_t live_ = 0;
 };
 
 }  // namespace v6h::ipv6

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
     }
   }
   const auto args = v6h::bench::BenchArgs::parse(argc, argv);
-  std::printf("scale=%g days=%d horizon=%d threads=%d out=%s\n", args.scale,
-              args.days, args.horizon, args.threads, args.out_dir.c_str());
+  std::printf("scale=%g days=%d horizon=%d threads=%d rebuild=%d out=%s\n",
+              args.scale, args.days, args.horizon, args.threads,
+              args.rebuild_each_day ? 1 : 0, args.out_dir.c_str());
   return 0;
 }

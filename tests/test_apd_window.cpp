@@ -68,6 +68,25 @@ void run_tests() {
     CHECK(window.verdict());
   }
 
+  // Long window: update is O(1) via the positives counter, and a
+  // single aliased day survives exactly window_days quiet days even
+  // when the window spans most of a campaign.
+  {
+    constexpr unsigned kLongWindow = 10000;
+    SlidingVerdict window(kLongWindow);
+    unsigned flips = window.update(true);
+    for (unsigned day = 1; day <= kLongWindow; ++day) {
+      flips += window.update(false);
+      CHECK(window.verdict());  // the true day is still inside
+    }
+    CHECK_EQ(flips, 0u);
+    CHECK(window.update(false));  // day kLongWindow + 1: aged out
+    CHECK(!window.verdict());
+    // And re-detection after the long quiet stretch flips back once.
+    CHECK(window.update(true));
+    CHECK(window.verdict());
+  }
+
   // A fresh window has no verdict to flip: the first update never
   // counts, whatever it reports.
   {

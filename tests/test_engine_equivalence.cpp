@@ -6,6 +6,7 @@
 // Accepts `--threads N` (repeatable) to test extra thread counts —
 // the CI ThreadSanitizer job passes --threads 8.
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -82,7 +83,7 @@ RunResult run_pipeline(std::uint64_t seed, unsigned threads) {
     fp += a.to_string();
   }
   fp += "\nalias-set";
-  const hitlist::AliasFilter filter = pipeline.alias_filter();
+  const hitlist::AliasFilter& filter = pipeline.filter();
   for (const auto& p : filter.prefixes()) {
     fp += "\n  ";
     fp += p.to_string();
@@ -143,14 +144,7 @@ void run_tests(const std::vector<unsigned>& thread_counts) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<unsigned> thread_counts{1, 2, 4, 8};
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      thread_counts.push_back(
-          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
-    }
-  }
-  run_tests(thread_counts);
+  run_tests(v6h::test::thread_counts_from_cli(argc, argv, {1, 2, 4, 8}));
   std::printf("%d checks, %d failures\n", v6h::test::checks,
               v6h::test::failures);
   return v6h::test::failures == 0 ? 0 : 1;

@@ -3,12 +3,33 @@
 // Tiny test harness: CHECK macros count failures; TEST_MAIN prints a
 // summary and returns nonzero when anything failed (ctest contract).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace v6h::test {
 inline int failures = 0;
 inline int checks = 0;
+
+/// Thread counts for the determinism sweeps: the built-in defaults
+/// plus every repeatable `--threads N` CLI value, sorted and deduped
+/// (the CI TSan job passes --threads 8, which is already a default —
+/// each sweep is expensive under TSan).
+inline std::vector<unsigned> thread_counts_from_cli(
+    int argc, char** argv, std::vector<unsigned> counts) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      counts.push_back(
+          static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
 }  // namespace v6h::test
 
 #define CHECK(condition)                                                      \

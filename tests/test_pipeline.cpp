@@ -2,6 +2,7 @@
 // aliased space without flagging honest space, scans carry response
 // masks, and the whole thing is deterministic.
 
+#include "engine/shard.h"
 #include "hitlist/pipeline.h"
 #include "hitlist/stats.h"
 #include "test_main.h"
@@ -30,7 +31,7 @@ static void run_tests() {
 
   // APD found aliased space, and verdicts are sound: flagged addresses
   // are mostly truly aliased, and plenty of aliased targets are caught.
-  const auto filter = pipeline.alias_filter();
+  const auto& filter = pipeline.filter();
   CHECK(day3.aliased_prefixes > 0);
   CHECK(!filter.prefixes().empty());
   std::size_t flagged = 0, flagged_correct = 0, truly = 0, caught = 0;
@@ -48,6 +49,35 @@ static void run_tests() {
   CHECK_EQ(flagged, flagged_correct);
   // The bulk of truly aliased hitlist addresses is detected.
   CHECK(caught * 10 >= truly * 6);
+
+  // Columnar store: rows align with targets(), first-seen days are
+  // real run days, and the per-row flags mirror the persistent filter.
+  const auto& store = pipeline.store();
+  CHECK_EQ(store.size(), pipeline.targets().size());
+  for (std::size_t row = 0; row < store.size(); ++row) {
+    CHECK(store.address(row) == pipeline.targets()[row]);
+    CHECK(store.first_seen_day(row) >= 268 && store.first_seen_day(row) <= 270);
+    CHECK_EQ(store.aliased(row), filter.is_aliased(store.address(row)));
+    CHECK_EQ(store.shard(row), engine::shard_of(store.address(row)));
+  }
+
+  // Prefix range queries find exactly the contained rows.
+  {
+    const auto& p = filter.prefixes().front();
+    std::vector<std::uint32_t> rows;
+    store.rows_within(p, &rows);
+    std::size_t brute = 0;
+    for (const auto& a : pipeline.targets()) brute += p.contains(a);
+    CHECK_EQ(rows.size(), brute);
+    CHECK(brute > 0);
+    for (const auto row : rows) CHECK(p.contains(store.address(row)));
+  }
+
+  // The last delta describes day 3.
+  const auto& delta = pipeline.last_delta();
+  CHECK_EQ(delta.day, 270);
+  CHECK_EQ(delta.new_addresses(), day3.new_addresses);
+  CHECK_EQ(delta.row_count, store.size());
 
   // Scan report: non-aliased targets only, masks consistent.
   CHECK_EQ(day3.scan.targets.size(), day3.scanned_targets);
