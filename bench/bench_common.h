@@ -20,6 +20,7 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "hitlist/pipeline.h"
 #include "netsim/network_sim.h"
 #include "netsim/universe.h"
+#include "scan/probe_schedule.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -58,6 +60,48 @@ inline int parse_int(const char* flag, const char* text) {
   return static_cast<int>(value);
 }
 
+inline long long parse_int64(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Comma-separated protocol names ("icmp,tcp80,..."); any unknown or
+/// empty name is a CLI-contract violation (exit 2).
+inline std::vector<net::Protocol> parse_protocols(const char* flag,
+                                                  const char* text) {
+  std::vector<net::Protocol> out;
+  const std::string_view list(text);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string_view name =
+        list.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    const auto protocol = scan::protocol_from_name(name);
+    if (!protocol) {
+      std::fprintf(stderr,
+                   "unknown protocol '%.*s' for %s (valid: icmp, tcp80, "
+                   "tcp443, udp53, udp443)\n",
+                   static_cast<int>(name.size()), name.data(), flag);
+      std::exit(2);
+    }
+    out.push_back(*protocol);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s needs at least one protocol\n", flag);
+    std::exit(2);
+  }
+  return out;
+}
+
 }  // namespace detail
 
 struct BenchArgs {
@@ -66,6 +110,13 @@ struct BenchArgs {
   int horizon = 270;     // source-growth day used as "now"
   int threads = 0;       // engine workers; 0 = hardware concurrency, 1 = serial
   bool rebuild_each_day = false;  // legacy full-rebuild day loop
+  bool legacy_scan = false;       // legacy per-probe scan path
+  // Scan-schedule scenario knobs (--protocols, --probe-budget,
+  // --retries); defaults reproduce the paper's full scan.
+  std::vector<net::Protocol> protocols{net::kAllProtocols.begin(),
+                                       net::kAllProtocols.end()};
+  long long probe_budget = 0;  // daily probe budget; 0 = unlimited
+  int retries = 0;             // extra attempts for unanswered probes
   std::string out_dir = ".";
 
   static BenchArgs parse(int argc, char** argv) {
@@ -88,12 +139,23 @@ struct BenchArgs {
         args.threads = detail::parse_int("--threads", next_value("--threads"));
       } else if (std::strcmp(argv[i], "--rebuild-each-day") == 0) {
         args.rebuild_each_day = true;
+      } else if (std::strcmp(argv[i], "--legacy-scan") == 0) {
+        args.legacy_scan = true;
+      } else if (std::strcmp(argv[i], "--protocols") == 0) {
+        args.protocols =
+            detail::parse_protocols("--protocols", next_value("--protocols"));
+      } else if (std::strcmp(argv[i], "--probe-budget") == 0) {
+        args.probe_budget = detail::parse_int64("--probe-budget",
+                                                next_value("--probe-budget"));
+      } else if (std::strcmp(argv[i], "--retries") == 0) {
+        args.retries = detail::parse_int("--retries", next_value("--retries"));
       } else if (std::strcmp(argv[i], "--out") == 0) {
         args.out_dir = next_value("--out");
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "flags: --scale S --days N --horizon D --threads T --out DIR "
-            "--rebuild-each-day\n");
+            "--protocols icmp,tcp80,tcp443,udp53,udp443 --probe-budget N "
+            "--retries N --rebuild-each-day --legacy-scan\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -125,6 +187,16 @@ struct BenchArgs {
                    args.threads);
       std::exit(2);
     }
+    if (args.probe_budget < 0) {
+      std::fprintf(stderr, "--probe-budget must be non-negative (got %lld)\n",
+                   args.probe_budget);
+      std::exit(2);
+    }
+    if (args.retries < 0 || args.retries > 16) {
+      std::fprintf(stderr, "--retries must be between 0 and 16 (got %d)\n",
+                   args.retries);
+      std::exit(2);
+    }
     return args;
   }
 
@@ -134,12 +206,23 @@ struct BenchArgs {
     return params;
   }
 
-  /// Pipeline options honoring --rebuild-each-day; every bench that
-  /// constructs a Pipeline goes through this so the escape hatch
-  /// works uniformly.
+  /// The daily scan schedule from the scenario flags.
+  scan::ProbeSchedule schedule() const {
+    scan::ProbeSchedule schedule;
+    schedule.protocols = protocols;
+    schedule.daily_probe_budget = static_cast<std::uint64_t>(probe_budget);
+    schedule.retries = static_cast<unsigned>(retries);
+    return schedule;
+  }
+
+  /// Pipeline options honoring --rebuild-each-day, --legacy-scan, and
+  /// the schedule flags; every bench that constructs a Pipeline goes
+  /// through this so the escape hatches work uniformly.
   hitlist::PipelineOptions pipeline_options() const {
     hitlist::PipelineOptions options;
     options.rebuild_each_day = rebuild_each_day;
+    options.legacy_scan = legacy_scan;
+    options.schedule = schedule();
     return options;
   }
 

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
   hitlist::PipelineOptions options = args.pipeline_options();
-  options.scan.protocols = {net::Protocol::kIcmp};
+  options.schedule.protocols = {net::Protocol::kIcmp};
   hitlist::Pipeline pipeline(universe, sim, options, &eng);
   bench::run_pipeline_days(pipeline, args);
 

@@ -1,5 +1,8 @@
 // Figure 7: conditional probability of responsiveness between
 // protocols — Pr[row protocol responds | column protocol responds].
+// `--protocols` restricts the daily scan to a subset; unprobed
+// protocols then show empty rows/columns (the paper's full matrix
+// needs all five).
 
 #include "bench_common.h"
 #include "probe/scanner.h"
@@ -15,6 +18,8 @@ int main(int argc, char** argv) {
   netsim::NetworkSim sim(universe);
   hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
   const auto report = bench::run_pipeline_days(pipeline, args);
+  std::printf("scanned protocols: %s\n",
+              scan::protocols_to_string(args.protocols).c_str());
 
   const auto matrix = probe::conditional_responsiveness(report.scan.targets);
 

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "apd/apd.h"
@@ -13,6 +14,7 @@
 #include "ipv6/prefix.h"
 #include "ipv6/trie.h"
 #include "netsim/network_sim.h"
+#include "scan/resolved_table.h"
 #include "util/rng.h"
 
 namespace {
@@ -126,6 +128,42 @@ void BM_SimulatedProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedProbe);
+
+void BM_SimulatedProbeResolved(benchmark::State& state) {
+  // The cached-routing counterpart of BM_SimulatedProbe: resolve the
+  // target list once, then answer probes from the SoA batch path.
+  static const v6h::netsim::Universe universe = [] {
+    v6h::netsim::UniverseParams p;
+    p.scale = 0.5;
+    p.tail_as_count = 2000;
+    return v6h::netsim::Universe(p);
+  }();
+  v6h::netsim::NetworkSim sim(universe);
+  std::vector<Address> targets;
+  v6h::util::Rng rng(5);
+  for (int i = 0; i < 1024; ++i) {
+    const auto& zone = universe.zones()[rng.uniform(universe.zones().size())];
+    targets.push_back(zone.discoverable_address(
+        static_cast<std::uint32_t>(rng.uniform(zone.discoverable_count())), 0));
+  }
+  v6h::scan::ResolvedTargetTable table(sim);
+  table.extend(targets.data(), targets.size(), 0);
+  const auto cols = table.columns();
+  std::vector<std::uint32_t> rows(targets.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<v6h::net::ProtocolMask> masks(targets.size());
+  for (auto _ : state) {
+    std::fill(masks.begin(), masks.end(), 0);
+    sim.probe_resolved_mask(cols, rows.data(), rows.size(),
+                            v6h::net::Protocol::kIcmp, 0, 0, masks.data());
+    benchmark::DoNotOptimize(masks.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(targets.size()));
+}
+BENCHMARK(BM_SimulatedProbeResolved);
 
 void BM_ApdPrefixTest(benchmark::State& state) {
   static const v6h::netsim::Universe universe = [] {

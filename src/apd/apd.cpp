@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "engine/shard.h"
+#include "scan/scan_engine.h"
 #include "util/rng.h"
 
 namespace v6h::apd {
@@ -101,10 +102,22 @@ AliasDetector::AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options,
 PrefixOutcome AliasDetector::probe_prefix(const Prefix& prefix, int day) {
   PrefixOutcome outcome;
   outcome.prefix = prefix;
+  std::array<Address, 16> fanout;
   for (unsigned nybble = 0; nybble < 16; ++nybble) {
-    const Address a =
-        prefix.fanout_address(nybble, util::hash64(day, nybble, 0xA9D));
-    outcome.responded += sim_->probe(a, options_.protocol, day, nybble).responded;
+    fanout[nybble] = prefix.fanout_address(nybble, util::hash64(day, nybble, 0xA9D));
+  }
+  if (scan_engine_ != nullptr) {
+    // Fan-out addresses are salted per day, so the engine resolves
+    // them transiently — same probes, same responses, no per-probe
+    // universe lookups beyond the one resolution each.
+    outcome.responded = scan_engine_->probe_fanout(fanout.data(), fanout.size(),
+                                                   options_.protocol, day,
+                                                   /*first_seq=*/0);
+  } else {
+    for (unsigned nybble = 0; nybble < 16; ++nybble) {
+      outcome.responded +=
+          sim_->probe(fanout[nybble], options_.protocol, day, nybble).responded;
+    }
   }
   outcome.aliased = outcome.responded == 16;
   return outcome;

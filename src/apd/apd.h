@@ -18,6 +18,10 @@
 #include "net/protocol.h"
 #include "netsim/network_sim.h"
 
+namespace v6h::scan {
+class ScanEngine;
+}  // namespace v6h::scan
+
 namespace v6h::apd {
 
 struct ApdOptions {
@@ -121,6 +125,13 @@ class AliasDetector {
   explicit AliasDetector(netsim::NetworkSim& sim, const ApdOptions& options = {},
                          engine::Engine* engine = nullptr);
 
+  /// Route the fan-out probes through a scan engine (resolve +
+  /// probe_resolved) instead of per-probe universe lookups. Null
+  /// restores the legacy direct path; both are byte-identical.
+  void set_scan_engine(scan::ScanEngine* scan_engine) {
+    scan_engine_ = scan_engine;
+  }
+
   PrefixOutcome probe_prefix(const ipv6::Prefix& prefix, int day);
 
   /// One APD day over a candidate batch: probe (sharded across the
@@ -145,6 +156,7 @@ class AliasDetector {
   netsim::NetworkSim* sim_;
   ApdOptions options_;
   engine::Engine* engine_;
+  scan::ScanEngine* scan_engine_ = nullptr;
   std::map<ipv6::Prefix, SlidingVerdict> state_;
   std::map<ipv6::Prefix, unsigned> flips_;
 };

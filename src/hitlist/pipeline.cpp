@@ -90,7 +90,10 @@ Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
       sources_(universe, sim, engine),
       detector_(sim, options_.apd, engine),
       counter_(universe.bgp(), options_.apd.min_targets, engine),
-      scanner_(sim, engine) {}
+      scanner_(sim, engine),
+      scan_engine_(sim, engine) {
+  if (!options_.legacy_scan) detector_.set_scan_engine(&scan_engine_);
+}
 
 Pipeline::DayReport Pipeline::run_day(int day) {
   DayReport report;
@@ -157,23 +160,31 @@ Pipeline::DayReport Pipeline::run_day(int day) {
       store_.set_aliased(delta.first_new_row + i, aliased[i] != 0);
     }
     std::vector<std::uint32_t> affected;
-    for (const auto& prefix : delta.became_aliased) {
-      store_.rows_within(prefix, &affected);
-    }
-    for (const auto& prefix : delta.became_clean) {
-      store_.rows_within(prefix, &affected);
-    }
+    store_.rows_within_many(delta.became_aliased, &affected);
+    store_.rows_within_many(delta.became_clean, &affected);
     for (const auto row : affected) {
       store_.set_aliased(row, filter_.is_aliased(store_.address(row)));
     }
   }
   report.aliased_prefixes = filter_.prefixes().size();
 
-  // 4. Scan everything not inside detected aliased space.
-  std::vector<Address> scan_targets;
-  store_.unaliased_addresses(&scan_targets);
-  report.scanned_targets = scan_targets.size();
-  report.scan = scanner_.scan(scan_targets, day, options_.scan);
+  // 4. Scan everything not inside detected aliased space. The
+  // resolved engine extends its per-row cache by the day's new rows
+  // and answers every probe from it; the legacy hatch re-resolves per
+  // probe. Identical reports either way — only per-probe cost
+  // differs.
+  if (options_.legacy_scan) {
+    std::vector<Address> scan_targets;
+    store_.unaliased_addresses(&scan_targets);
+    report.scanned_targets = scan_targets.size();
+    probe::ScanOptions scan_options;
+    scan_options.protocols = options_.schedule.protocols;
+    report.scan = scanner_.scan_legacy(scan_targets, day, scan_options);
+  } else {
+    scan_engine_.sync(store_, day);
+    report.scan = scan_engine_.scan_store(store_, day, options_.schedule);
+    report.scanned_targets = report.scan.targets.size();
+  }
   delta_ = std::move(delta);
   return report;
 }

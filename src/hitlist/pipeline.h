@@ -11,6 +11,13 @@
 // PipelineOptions::rebuild_each_day is the legacy escape hatch that
 // recomputes all three from the cumulative hitlist; both paths yield
 // byte-identical DayReport sequences (tests/test_pipeline_incremental).
+//
+// The daily protocol scan and the APD fan-out run on the resolved
+// scan engine: a persistent per-row resolution cache extended by each
+// DayDelta answers every probe without universe lookups.
+// PipelineOptions::legacy_scan keeps the historical per-probe path
+// callable; both scan paths yield byte-identical DayReport sequences
+// and probe counts (tests/test_scan_equivalence.cpp).
 
 #include <array>
 #include <cstdint>
@@ -26,18 +33,29 @@
 #include "netsim/network_sim.h"
 #include "netsim/universe.h"
 #include "probe/scanner.h"
+#include "scan/probe_schedule.h"
+#include "scan/scan_engine.h"
 #include "sources/sources.h"
 
 namespace v6h::hitlist {
 
 struct PipelineOptions {
-  probe::ScanOptions scan;
+  /// The daily scan schedule: protocol set, probe interleave, budget,
+  /// and retry policy. The default schedule reproduces the historical
+  /// all-protocol scan byte-for-byte.
+  scan::ProbeSchedule schedule;
   apd::ApdOptions apd;
   /// Legacy full-rebuild day loop: re-count candidates over the whole
   /// hitlist, rebuild the alias filter, and re-filter every target
   /// each day. Output is byte-identical to the incremental default;
   /// only the per-day cost differs.
   bool rebuild_each_day = false;
+  /// Legacy unresolved scan path: per-probe universe lookups for the
+  /// daily scan and the APD fan-out instead of the resolved engine.
+  /// Output is byte-identical to the default; only the per-probe cost
+  /// differs (budget and retries need the engine, so only the
+  /// schedule's protocol set applies here).
+  bool legacy_scan = false;
 };
 
 /// The APD verdict set as a queryable filter. Prefixes are
@@ -127,6 +145,9 @@ class Pipeline {
 
   sources::SourceSimulator& source_simulator() { return sources_; }
 
+  /// The resolved scan engine run_day keeps in sync with the store.
+  const scan::ScanEngine& scan_engine() const { return scan_engine_; }
+
   const PipelineOptions& options() const { return options_; }
 
  private:
@@ -137,6 +158,7 @@ class Pipeline {
   apd::AliasDetector detector_;
   apd::CandidateCounter counter_;
   probe::Scanner scanner_;
+  scan::ScanEngine scan_engine_;
   TargetStore store_;
   AliasFilter filter_;
   DayDelta delta_;

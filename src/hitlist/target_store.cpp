@@ -1,5 +1,7 @@
 #include "hitlist/target_store.h"
 
+#include <algorithm>
+
 #include "engine/shard.h"
 
 namespace v6h::hitlist {
@@ -7,21 +9,16 @@ namespace v6h::hitlist {
 using ipv6::Address;
 using ipv6::Prefix;
 
-bool TargetStore::insert(const Address& a, int day) {
-  const auto row = static_cast<std::uint32_t>(addresses_.size());
-  if (!by_address_.emplace(a, row).second) return false;
-  addresses_.push_back(a);
-  first_seen_.push_back(day);
-  aliased_.push_back(0);
-  shards_.push_back(static_cast<std::uint8_t>(engine::shard_of(a)));
-  return true;
-}
+namespace {
 
-void TargetStore::rows_within(const Prefix& prefix,
-                              std::vector<std::uint32_t>* rows) const {
-  const Address& base = prefix.address();
-  // Highest address inside the prefix: host bits forced to one.
-  Address last = base;
+// Tail appends before a spill into a sorted run: small enough that
+// the per-query linear tail scan stays in-cache, large enough that
+// run merges amortize.
+constexpr std::size_t kTailLimit = 256;
+
+// Highest address inside the prefix: host bits forced to one.
+Address last_address(const Prefix& prefix) {
+  Address last = prefix.address();
   const unsigned length = prefix.length();
   if (length < 64) {
     last.hi |= length == 0 ? ~0ULL : ~0ULL >> length;
@@ -29,10 +26,88 @@ void TargetStore::rows_within(const Prefix& prefix,
   } else if (length < 128) {
     last.lo |= ~0ULL >> (length - 64);
   }
-  for (auto it = by_address_.lower_bound(base);
-       it != by_address_.end() && !(last < it->first); ++it) {
-    rows->push_back(it->second);
+  return last;
+}
+
+}  // namespace
+
+bool TargetStore::insert(const Address& a, int day) {
+  const auto row = static_cast<std::uint32_t>(addresses_.size());
+  if (!index_.emplace(a, row).second) return false;
+  addresses_.push_back(a);
+  first_seen_.push_back(day);
+  aliased_.push_back(0);
+  shards_.push_back(static_cast<std::uint8_t>(engine::shard_of(a)));
+
+  tail_.push_back(Entry{a, row});
+  if (tail_.size() < kTailLimit) return true;
+  // Spill the tail as a new sorted run, then keep merging while the
+  // previous run is not substantially larger (the logarithmic
+  // method): run sizes stay geometric, inserts cost O(log n)
+  // amortized, and every run is one dense sorted block.
+  std::sort(tail_.begin(), tail_.end(),
+            [](const Entry& x, const Entry& y) { return x.address < y.address; });
+  runs_.push_back(std::move(tail_));
+  tail_.clear();
+  while (runs_.size() >= 2 &&
+         runs_[runs_.size() - 2].size() < 2 * runs_.back().size()) {
+    auto& left = runs_[runs_.size() - 2];
+    auto& right = runs_.back();
+    std::vector<Entry> merged;
+    merged.reserve(left.size() + right.size());
+    std::merge(left.begin(), left.end(), right.begin(), right.end(),
+               std::back_inserter(merged),
+               [](const Entry& x, const Entry& y) {
+                 return x.address < y.address;
+               });
+    runs_.pop_back();
+    runs_.back() = std::move(merged);
   }
+  return true;
+}
+
+void TargetStore::gather_range(const Address& first, const Address& last,
+                               std::vector<Entry>* hits) const {
+  for (const auto& run : runs_) {
+    auto it = std::lower_bound(run.begin(), run.end(), first,
+                               [](const Entry& e, const Address& a) {
+                                 return e.address < a;
+                               });
+    for (; it != run.end() && !(last < it->address); ++it) {
+      hits->push_back(*it);
+    }
+  }
+  for (const auto& entry : tail_) {
+    if (!(entry.address < first) && !(last < entry.address)) {
+      hits->push_back(entry);
+    }
+  }
+}
+
+void TargetStore::rows_within(const Prefix& prefix,
+                              std::vector<std::uint32_t>* rows) const {
+  std::vector<Entry> hits;
+  gather_range(prefix.address(), last_address(prefix), &hits);
+  // Runs are disjoint (addresses are unique), but their matches
+  // interleave; restore the ascending address order the old ordered
+  // index delivered.
+  std::sort(hits.begin(), hits.end(),
+            [](const Entry& x, const Entry& y) { return x.address < y.address; });
+  for (const auto& entry : hits) rows->push_back(entry.row);
+}
+
+void TargetStore::rows_within_many(const std::vector<Prefix>& prefixes,
+                                   std::vector<std::uint32_t>* rows) const {
+  std::vector<Entry> hits;
+  for (const auto& prefix : prefixes) {
+    gather_range(prefix.address(), last_address(prefix), &hits);
+  }
+  std::vector<std::uint32_t> batch;
+  batch.reserve(hits.size());
+  for (const auto& entry : hits) batch.push_back(entry.row);
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  rows->insert(rows->end(), batch.begin(), batch.end());
 }
 
 void TargetStore::unaliased_addresses(std::vector<Address>* out) const {

@@ -5,13 +5,18 @@
 // row per unique address, in first-seen order; the columns the day
 // stages need (first-seen day, current aliased verdict, top-bits
 // shard) live in their own dense arrays so a stage touches only the
-// bytes it reads. An ordered address index supports both first-seen
-// dedup and "all targets inside this prefix" range queries, which is
-// how a verdict flip re-evaluates exactly its members instead of the
-// whole hitlist.
+// bytes it reads.
+//
+// First-seen dedup runs on a hash index; the "all targets inside this
+// prefix" range queries run on sorted-run blocks: appended rows
+// collect in a small tail, spill into a sorted run, and runs merge
+// geometrically (logarithmic-method) so each stays a dense sorted
+// array a range query can binary-search — contiguous scans instead of
+// the pointer-chasing of the old std::map index, and a batched form
+// answers a whole flip-list of prefixes in one call.
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "ipv6/address.h"
@@ -49,21 +54,41 @@ class TargetStore {
   void set_aliased(std::size_t row, bool value) { aliased_[row] = value; }
 
   /// Append the rows whose address lies inside `prefix` (ascending
-  /// address order) — O(log n + members) via the ordered index, so a
-  /// flipped prefix re-filters only its members.
+  /// address order) — binary search per sorted run plus a bounded
+  /// tail scan, so a flipped prefix re-filters only its members.
   void rows_within(const ipv6::Prefix& prefix,
                    std::vector<std::uint32_t>* rows) const;
+
+  /// Batched form: the union of members across `prefixes`, appended
+  /// in ascending row order without duplicates (nested flip prefixes
+  /// would otherwise emit their overlap once per prefix).
+  void rows_within_many(const std::vector<ipv6::Prefix>& prefixes,
+                        std::vector<std::uint32_t>* rows) const;
 
   /// Append every non-aliased address in row (= first-seen) order:
   /// the day's scan list.
   void unaliased_addresses(std::vector<ipv6::Address>* out) const;
 
+  std::size_t sorted_run_count() const { return runs_.size(); }
+
  private:
+  struct Entry {
+    ipv6::Address address;
+    std::uint32_t row;
+  };
+
+  // Collect matches of one [first, last] address range as entries.
+  void gather_range(const ipv6::Address& first, const ipv6::Address& last,
+                    std::vector<Entry>* hits) const;
+
   std::vector<ipv6::Address> addresses_;
   std::vector<std::int32_t> first_seen_;
   std::vector<char> aliased_;
   std::vector<std::uint8_t> shards_;
-  std::map<ipv6::Address, std::uint32_t> by_address_;
+  std::unordered_map<ipv6::Address, std::uint32_t, ipv6::AddressHash> index_;
+  // Ordered index: geometric sorted runs + an unsorted recent tail.
+  std::vector<std::vector<Entry>> runs_;
+  std::vector<Entry> tail_;
 };
 
 }  // namespace v6h::hitlist

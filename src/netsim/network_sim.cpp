@@ -15,43 +15,55 @@ constexpr std::uint8_t kWscales[] = {0, 2, 7, 8, 14};
 constexpr std::uint16_t kMsses[] = {1220, 1380, 1440, 8940};
 constexpr std::uint16_t kWsizes[] = {14600, 28800, 29200, 64240, 65535};
 
-// Fill the machine-image fields (everything but `responded`/`ttl`)
-// from a stable machine identity.
-void fill_machine(std::uint64_t machine, bool timestamps, std::uint64_t t,
-                  ProbeResult* out) {
+// The static half of the machine image: every field probe() derives
+// from the machine identity alone. The timestamp clock is kept as
+// (hz, offset) so tsval at time t is one multiply-add; hz == 0 means
+// timestamps disabled. Shared by the per-probe legacy path and the
+// resolution cache so the two can never drift apart.
+void fill_machine_image(std::uint64_t machine, bool timestamps,
+                        ResolvedTarget* out) {
   out->ittl = kIttls[hash64(machine, 0x17) % 5];
   out->wscale = kWscales[hash64(machine, 0x2C) % 5];
   out->mss = kMsses[hash64(machine, 0x35) % 4];
   out->wsize = kWsizes[hash64(machine, 0x47) % 5];
   out->options_id = static_cast<std::uint8_t>(hash64(machine, 0x59) % 6);
-  out->has_timestamp = timestamps;
   if (timestamps) {
     static constexpr std::uint32_t kHz[] = {100, 250, 1000};
-    const std::uint32_t hz = kHz[hash64(machine, 0x63) % 3];
-    const auto offset = static_cast<std::uint32_t>(hash64(machine, 0x71));
-    out->tsval = offset + hz * static_cast<std::uint32_t>(t);
+    out->ts_hz = kHz[hash64(machine, 0x63) % 3];
+    out->ts_offset = static_cast<std::uint32_t>(hash64(machine, 0x71));
+  } else {
+    out->ts_hz = 0;
+    out->ts_offset = 0;
   }
 }
 
-// Per-day transient availability shared across protocols so that
-// cross-protocol responsiveness stays correlated (Figure 7).
-bool host_transient_up(const Zone& zone, std::uint32_t slot, int day) {
-  double stability = 0.98;
-  switch (zone.config().kind) {
-    case ZoneKind::kNodes: stability = 0.90; break;
-    case ZoneKind::kIspCpe: stability = 0.90; break;
-    case ZoneKind::kAtlasProbe: stability = 0.97; break;
-    default: break;
+// Copy a cached image into a ProbeResult at probe time `t`.
+void emit_machine(const ResolvedTarget& r, std::uint64_t t, ProbeResult* out) {
+  out->ittl = r.ittl;
+  out->wscale = r.wscale;
+  out->mss = r.mss;
+  out->wsize = r.wsize;
+  out->options_id = r.options_id;
+  out->has_timestamp = r.ts_hz != 0;
+  if (r.ts_hz != 0) {
+    out->tsval = r.ts_offset + r.ts_hz * static_cast<std::uint32_t>(t);
   }
-  return hash_unit(zone.key(), slot, 0xDA1ULL * 131 + static_cast<unsigned>(day)) <
-         stability;
+  out->ttl = r.ttl;
+}
+
+// Per-day transient availability shared across protocols so that
+// cross-protocol responsiveness stays correlated (Figure 7). The
+// stability threshold lives in ZoneProbeParams.
+bool host_transient_up(const ZoneProbeParams& zp, std::uint32_t slot, int day) {
+  return hash_unit(zp.key, slot, 0xDA1ULL * 131 + static_cast<unsigned>(day)) <
+         zp.stability;
 }
 
 // Bitnodes-style permanent churn: node populations turn over within
 // weeks (Figure 8's ~80 % 14-day retention).
-bool node_alive(const Zone& zone, std::uint32_t slot, int day) {
-  if (zone.config().kind != ZoneKind::kNodes) return true;
-  return hash_unit(zone.key(), slot, 0xB17 + static_cast<unsigned>(day / 7)) < 0.82;
+bool node_alive(const ZoneProbeParams& zp, std::uint32_t slot, int day) {
+  if (!zp.nodes) return true;
+  return hash_unit(zp.key, slot, 0xB17 + static_cast<unsigned>(day / 7)) < 0.82;
 }
 
 // Which of the zone's machine services this particular host runs.
@@ -75,10 +87,116 @@ net::ProtocolMask host_service_mask(const Zone& zone, std::uint32_t slot) {
   return mask;
 }
 
+// The day/seq-dependent half of probe(): does a resolved row answer
+// this particular probe? The caller has already checked the service
+// mask, so `zp` is valid and the row is aliased or a live slot.
+bool resolved_responds(const ZoneProbeParams& zp, std::uint8_t flags,
+                       std::uint32_t slot, std::uint64_t addr_hash,
+                       net::Protocol protocol, int day, unsigned seq) {
+  if (flags & ResolvedTarget::kAliased) {
+    if (zp.loss > 0.0 &&
+        hash_unit(zp.key, addr_hash,
+                  hash64(day, seq, net::index_of(protocol))) < zp.loss) {
+      return false;
+    }
+    if (zp.quic_flaky && protocol == net::Protocol::kUdp443) {
+      const double rate = 0.60 + 0.35 * hash_unit(zp.key, 0xF1A, day);
+      if (hash_unit(zp.key, addr_hash, 0xF1B + static_cast<unsigned>(day)) >=
+          rate) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (!host_transient_up(zp, slot, day)) return false;
+  if (!node_alive(zp, slot, day)) return false;
+  if (zp.quic_flaky && protocol == net::Protocol::kUdp443) {
+    const double rate = 0.60 + 0.35 * hash_unit(zp.key, 0xF1A, day);
+    if (hash_unit(zp.key, slot, 0xF1C + static_cast<unsigned>(day)) >= rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ZoneProbeParams params_of(const Zone& zone) {
+  ZoneProbeParams zp;
+  zp.key = zone.key();
+  zp.loss = zone.config().loss;
+  zp.quic_flaky = zone.config().quic_flaky;
+  zp.nodes = zone.config().kind == ZoneKind::kNodes;
+  switch (zone.config().kind) {
+    case ZoneKind::kNodes: zp.stability = 0.90; break;
+    case ZoneKind::kIspCpe: zp.stability = 0.90; break;
+    case ZoneKind::kAtlasProbe: zp.stability = 0.97; break;
+    default: zp.stability = 0.98; break;
+  }
+  return zp;
+}
+
 }  // namespace
+
+NetworkSim::NetworkSim(const Universe& universe) : universe_(&universe) {
+  zone_params_.reserve(universe.zones().size());
+  for (const auto& zone : universe.zones()) {
+    zone_params_.push_back(params_of(zone));
+  }
+}
+
+ResolvedTarget NetworkSim::resolve(const Address& a, int day) const {
+  ResolvedTarget r;
+  r.addr_hash = hash64(a.hi, a.lo, 0xAD);
+  const Zone* zone = universe_->zone_at(a);
+  if (zone == nullptr) return r;  // unrouted: service_mask 0, never answers
+  r.zone = static_cast<std::uint32_t>(zone - universe_->zones().data());
+  const ZoneConfig& config = zone->config();
+
+  const bool aliased_here =
+      config.aliased && !(config.carveout && config.carveout->contains(a));
+  if (aliased_here) {
+    r.flags |= ResolvedTarget::kAliased;
+    r.service_mask = config.machine_service;
+    fill_machine_image(zone->key(),
+                       config.uniformity != UniformityMode::kUniformNoTs, &r);
+    if (config.proxy_wsize) {
+      // A TCP proxy terminates each flow with its own window.
+      r.wsize = static_cast<std::uint16_t>(
+          14600 + 1460 * (hash64(r.addr_hash, 0x90) % 8));
+    }
+    // Path length varies behind ~30 % of aliased prefixes (the raw-TTL
+    // inconsistency the iTTL normalization removes).
+    unsigned hops = 6 + static_cast<unsigned>(hash64(zone->key(), 0xB0) % 18);
+    if (hash_unit(zone->key(), 0xB1) < 0.3 && (r.addr_hash & 1) != 0) ++hops;
+    r.ttl = static_cast<std::uint8_t>(r.ittl - hops);
+    return r;
+  }
+
+  // Honest space: carve-out members fall through here too, and die on
+  // slot_of (aliased zones never invert) exactly like probe() does.
+  r.epoch = zone->epoch(day);
+  const auto slot = zone->slot_of(a, day);
+  if (!slot || *slot >= config.host_count) return r;  // dead address
+  r.flags |= ResolvedTarget::kLiveSlot;
+  r.slot = *slot;
+  r.service_mask = host_service_mask(*zone, *slot);
+  const bool uniform = config.uniformity != UniformityMode::kDiverse;
+  const std::uint64_t machine =
+      uniform ? zone->key() : hash64(zone->key(), *slot, 0x3A);
+  fill_machine_image(machine, config.uniformity != UniformityMode::kUniformNoTs,
+                     &r);
+  unsigned hops = 6 + static_cast<unsigned>(hash64(zone->key(), 0xB0) % 18);
+  if (!uniform) hops += static_cast<unsigned>(hash64(zone->key(), *slot, 0xB2) % 3);
+  r.ttl = static_cast<std::uint8_t>(r.ittl - hops);
+  return r;
+}
 
 ProbeResult NetworkSim::probe(const Address& a, net::Protocol protocol, int day,
                               unsigned seq) {
+  // The reference path: re-derive everything per call, filling the
+  // machine image only after the probe is known to answer (the
+  // historical cost profile the resolved path is benchmarked
+  // against). The predicates and the image generator are shared with
+  // resolve()/probe_resolved, so the two paths cannot drift apart.
   probes_sent_.fetch_add(1, std::memory_order_relaxed);
   ProbeResult out;
   const Zone* zone = universe_->zone_at(a);
@@ -86,61 +204,119 @@ ProbeResult NetworkSim::probe(const Address& a, net::Protocol protocol, int day,
   const ZoneConfig& config = zone->config();
   const std::uint64_t addr_hash = hash64(a.hi, a.lo, 0xAD);
   const std::uint64_t t = probe_time(day, seq);
+  const ZoneProbeParams& zp =
+      zone_params_[static_cast<std::size_t>(zone - universe_->zones().data())];
 
   const bool aliased_here =
       config.aliased && !(config.carveout && config.carveout->contains(a));
   if (aliased_here) {
     if (!net::responds_to(config.machine_service, protocol)) return out;
-    if (config.loss > 0.0 &&
-        hash_unit(zone->key(), addr_hash,
-                  hash64(day, seq, net::index_of(protocol))) < config.loss) {
+    if (!resolved_responds(zp, ResolvedTarget::kAliased, 0, addr_hash, protocol,
+                           day, seq)) {
       return out;
     }
-    if (config.quic_flaky && protocol == net::Protocol::kUdp443) {
-      const double rate = 0.60 + 0.35 * hash_unit(zone->key(), 0xF1A, day);
-      if (hash_unit(zone->key(), addr_hash, 0xF1B + static_cast<unsigned>(day)) >=
-          rate) {
-        return out;
-      }
-    }
     out.responded = true;
-    fill_machine(zone->key(), config.uniformity != UniformityMode::kUniformNoTs, t,
-                 &out);
+    ResolvedTarget image;
+    fill_machine_image(zone->key(),
+                       config.uniformity != UniformityMode::kUniformNoTs,
+                       &image);
     if (config.proxy_wsize) {
       // A TCP proxy terminates each flow with its own window.
-      out.wsize = static_cast<std::uint16_t>(
+      image.wsize = static_cast<std::uint16_t>(
           14600 + 1460 * (hash64(addr_hash, 0x90) % 8));
     }
     // Path length varies behind ~30 % of aliased prefixes (the raw-TTL
     // inconsistency the iTTL normalization removes).
     unsigned hops = 6 + static_cast<unsigned>(hash64(zone->key(), 0xB0) % 18);
     if (hash_unit(zone->key(), 0xB1) < 0.3 && (addr_hash & 1) != 0) ++hops;
-    out.ttl = static_cast<std::uint8_t>(out.ittl - hops);
+    image.ttl = static_cast<std::uint8_t>(image.ittl - hops);
+    emit_machine(image, t, &out);
     return out;
   }
 
   const auto slot = zone->slot_of(a, day);
   if (!slot || *slot >= config.host_count) return out;
   if (!net::responds_to(host_service_mask(*zone, *slot), protocol)) return out;
-  if (!host_transient_up(*zone, *slot, day)) return out;
-  if (!node_alive(*zone, *slot, day)) return out;
-  if (config.quic_flaky && protocol == net::Protocol::kUdp443) {
-    const double rate = 0.60 + 0.35 * hash_unit(zone->key(), 0xF1A, day);
-    if (hash_unit(zone->key(), *slot, 0xF1C + static_cast<unsigned>(day)) >= rate) {
-      return out;
-    }
+  if (!resolved_responds(zp, 0, *slot, addr_hash, protocol, day, seq)) {
+    return out;
   }
-
   out.responded = true;
   const bool uniform = config.uniformity != UniformityMode::kDiverse;
   const std::uint64_t machine =
       uniform ? zone->key() : hash64(zone->key(), *slot, 0x3A);
-  const bool timestamps = config.uniformity != UniformityMode::kUniformNoTs;
-  fill_machine(machine, timestamps, t, &out);
+  ResolvedTarget image;
+  fill_machine_image(machine, config.uniformity != UniformityMode::kUniformNoTs,
+                     &image);
   unsigned hops = 6 + static_cast<unsigned>(hash64(zone->key(), 0xB0) % 18);
   if (!uniform) hops += static_cast<unsigned>(hash64(zone->key(), *slot, 0xB2) % 3);
-  out.ttl = static_cast<std::uint8_t>(out.ittl - hops);
+  image.ttl = static_cast<std::uint8_t>(image.ittl - hops);
+  emit_machine(image, t, &out);
   return out;
+}
+
+ProbeResult NetworkSim::probe_resolved(const ResolvedTarget& r,
+                                       net::Protocol protocol, int day,
+                                       unsigned seq) {
+  probes_sent_.fetch_add(1, std::memory_order_relaxed);
+  ProbeResult out;
+  if (!net::responds_to(r.service_mask, protocol)) return out;
+  const ZoneProbeParams& zp = zone_params_[r.zone];
+  if (!resolved_responds(zp, r.flags, r.slot, r.addr_hash, protocol, day, seq)) {
+    return out;
+  }
+  out.responded = true;
+  emit_machine(r, probe_time(day, seq), &out);
+  return out;
+}
+
+void NetworkSim::probe_resolved(const ResolvedColumns& t,
+                                const std::uint32_t* rows, std::size_t count,
+                                net::Protocol protocol, int day, unsigned seq,
+                                ProbeResult* results) {
+  probes_sent_.fetch_add(count, std::memory_order_relaxed);
+  const ZoneProbeParams* zones = zone_params_.data();
+  const std::uint64_t time = probe_time(day, seq);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t i = rows[k];
+    ProbeResult& out = results[k];
+    out = ProbeResult{};
+    if (!net::responds_to(t.service_mask[i], protocol)) continue;
+    const ZoneProbeParams& zp = zones[t.zone[i]];
+    if (!resolved_responds(zp, t.flags[i], t.slot[i], t.addr_hash[i], protocol,
+                           day, seq)) {
+      continue;
+    }
+    out.responded = true;
+    out.ittl = t.ittl[i];
+    out.wscale = t.wscale[i];
+    out.mss = t.mss[i];
+    out.wsize = t.wsize[i];
+    out.options_id = t.options_id[i];
+    out.has_timestamp = t.ts_hz[i] != 0;
+    if (t.ts_hz[i] != 0) {
+      out.tsval = t.ts_offset[i] + t.ts_hz[i] * static_cast<std::uint32_t>(time);
+    }
+    out.ttl = t.ttl[i];
+  }
+}
+
+void NetworkSim::probe_resolved_mask(const ResolvedColumns& t,
+                                     const std::uint32_t* rows,
+                                     std::size_t count, net::Protocol protocol,
+                                     int day, unsigned seq,
+                                     net::ProtocolMask* masks) {
+  probes_sent_.fetch_add(count, std::memory_order_relaxed);
+  const ZoneProbeParams* zones = zone_params_.data();
+  const net::ProtocolMask bit = net::mask_of(protocol);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint32_t i = rows[k];
+    if (!net::responds_to(t.service_mask[i], protocol)) continue;
+    const ZoneProbeParams& zp = zones[t.zone[i]];
+    if (resolved_responds(zp, t.flags[i], t.slot[i], t.addr_hash[i], protocol,
+                          day, seq)) {
+      masks[k] |= bit;
+    }
+  }
 }
 
 }  // namespace v6h::netsim

@@ -1,11 +1,22 @@
 #include "probe/scanner.h"
 
 #include "engine/shard.h"
+#include "scan/scan_engine.h"
 
 namespace v6h::probe {
 
 ScanReport Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
                          const ScanOptions& options) {
+  // Routed through the resolved batch path: one universe resolution
+  // per target, then per-protocol probes from the cached record.
+  scan::ScanEngine engine(*sim_, engine_);
+  scan::ProbeSchedule schedule;
+  schedule.protocols = options.protocols;
+  return engine.scan_addresses(targets, day, schedule);
+}
+
+ScanReport Scanner::scan_legacy(const std::vector<ipv6::Address>& targets,
+                                int day, const ScanOptions& options) {
   ScanReport report;
   report.day = day;
   report.targets.resize(targets.size());
@@ -33,6 +44,7 @@ ScanReport Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
   } else {
     for (std::size_t i = 0; i < targets.size(); ++i) probe_target(i);
   }
+  report.tally();
   return report;
 }
 

@@ -32,16 +32,30 @@ struct TargetResult {
 struct ScanReport {
   int day = -1;
   std::vector<TargetResult> targets;
+  // Response tallies, filled by one pass over the masks when the scan
+  // finishes (tally()) instead of a full targets walk per query.
+  std::array<std::uint64_t, net::kProtocolCount> responsive{};
+  std::uint64_t responsive_any = 0;
 
   std::size_t responsive_count(net::Protocol p) const {
-    std::size_t n = 0;
-    for (const auto& t : targets) n += t.responded(p);
-    return n;
+    return static_cast<std::size_t>(responsive[net::index_of(p)]);
   }
   std::size_t responsive_any_count() const {
-    std::size_t n = 0;
-    for (const auto& t : targets) n += t.responded_any();
-    return n;
+    return static_cast<std::size_t>(responsive_any);
+  }
+
+  /// Recompute the tallies from `targets`. Every scan path calls this
+  /// once; call it again after mutating `targets` by hand.
+  void tally() {
+    responsive.fill(0);
+    responsive_any = 0;
+    for (const auto& t : targets) {
+      if (t.responded_mask == 0) continue;
+      ++responsive_any;
+      for (std::size_t p = 0; p < net::kProtocolCount; ++p) {
+        responsive[p] += (t.responded_mask >> p) & 1u;
+      }
+    }
   }
 };
 
@@ -54,11 +68,19 @@ class Scanner {
     return sim_->probe(a, p, day, 0);
   }
 
-  /// Scan every target across the protocol set. With an engine
-  /// attached, targets are probed in per-shard batches on the worker
-  /// pool; report.targets stays in input order for any thread count.
+  /// Scan every target across the protocol set, routed through the
+  /// resolved batch path (scan::ScanEngine): each target is resolved
+  /// once and its per-protocol probes answer from the cached record.
+  /// Byte-identical to scan_legacy for any thread count.
   ScanReport scan(const std::vector<ipv6::Address>& targets, int day,
                   const ScanOptions& options = {});
+
+  /// The historical unresolved path: every probe re-resolves the
+  /// target through the universe. Kept callable as the equivalence
+  /// baseline for the scan engine (tests/test_scan_engine.cpp) and as
+  /// the perf reference bench_fig8_longitudinal times it against.
+  ScanReport scan_legacy(const std::vector<ipv6::Address>& targets, int day,
+                         const ScanOptions& options = {});
 
  private:
   netsim::NetworkSim* sim_;

@@ -1,0 +1,41 @@
+#include "scan/probe_schedule.h"
+
+namespace v6h::scan {
+
+std::size_t ProbeSchedule::admitted_targets(std::size_t targets) const {
+  const std::uint64_t per_target = probes_per_target();
+  if (daily_probe_budget == 0 || per_target == 0) return targets;
+  const std::uint64_t affordable = daily_probe_budget / per_target;
+  return affordable < targets ? static_cast<std::size_t>(affordable) : targets;
+}
+
+std::optional<net::Protocol> protocol_from_name(std::string_view name) {
+  if (name == "icmp") return net::Protocol::kIcmp;
+  if (name == "tcp80") return net::Protocol::kTcp80;
+  if (name == "tcp443") return net::Protocol::kTcp443;
+  if (name == "udp53") return net::Protocol::kUdp53;
+  if (name == "udp443") return net::Protocol::kUdp443;
+  return std::nullopt;
+}
+
+std::string_view protocol_flag_name(net::Protocol p) {
+  switch (p) {
+    case net::Protocol::kIcmp: return "icmp";
+    case net::Protocol::kTcp80: return "tcp80";
+    case net::Protocol::kTcp443: return "tcp443";
+    case net::Protocol::kUdp53: return "udp53";
+    case net::Protocol::kUdp443: return "udp443";
+  }
+  return "?";
+}
+
+std::string protocols_to_string(const std::vector<net::Protocol>& protocols) {
+  std::string out;
+  for (const auto p : protocols) {
+    if (!out.empty()) out += ",";
+    out += protocol_flag_name(p);
+  }
+  return out;
+}
+
+}  // namespace v6h::scan

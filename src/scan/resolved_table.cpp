@@ -1,0 +1,106 @@
+#include "scan/resolved_table.h"
+
+namespace v6h::scan {
+
+using ipv6::Address;
+using netsim::ResolvedTarget;
+
+void ResolvedTargetTable::store_row(std::size_t row, const ResolvedTarget& r) {
+  zone_[row] = r.zone;
+  slot_[row] = r.slot;
+  addr_hash_[row] = r.addr_hash;
+  flags_[row] = r.flags;
+  service_mask_[row] = r.service_mask;
+  ittl_[row] = r.ittl;
+  wscale_[row] = r.wscale;
+  options_id_[row] = r.options_id;
+  ttl_[row] = r.ttl;
+  mss_[row] = r.mss;
+  wsize_[row] = r.wsize;
+  ts_hz_[row] = r.ts_hz;
+  ts_offset_[row] = r.ts_offset;
+  epoch_[row] = r.epoch;
+}
+
+netsim::ResolvedTarget ResolvedTargetTable::row(std::size_t i) const {
+  ResolvedTarget r;
+  r.zone = zone_[i];
+  r.slot = slot_[i];
+  r.addr_hash = addr_hash_[i];
+  r.flags = flags_[i];
+  r.service_mask = service_mask_[i];
+  r.ittl = ittl_[i];
+  r.wscale = wscale_[i];
+  r.options_id = options_id_[i];
+  r.ttl = ttl_[i];
+  r.mss = mss_[i];
+  r.wsize = wsize_[i];
+  r.ts_hz = ts_hz_[i];
+  r.ts_offset = ts_offset_[i];
+  r.epoch = epoch_[i];
+  return r;
+}
+
+void ResolvedTargetTable::extend(const Address* addrs, std::size_t count,
+                                 int day, engine::Engine* engine) {
+  if (count == 0) return;
+  const std::size_t base = size();
+  const std::size_t total = base + count;
+  zone_.resize(total);
+  slot_.resize(total);
+  addr_hash_.resize(total);
+  flags_.resize(total);
+  service_mask_.resize(total);
+  ittl_.resize(total);
+  wscale_.resize(total);
+  options_id_.resize(total);
+  ttl_.resize(total);
+  mss_.resize(total);
+  wsize_.resize(total);
+  ts_hz_.resize(total);
+  ts_offset_.resize(total);
+  epoch_.resize(total);
+
+  auto fill = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      store_row(base + i, sim_->resolve(addrs[i], day));
+    }
+  };
+  if (engine != nullptr && engine->parallel()) {
+    engine->parallel_for(count, 256, fill);
+  } else {
+    fill(0, count);
+  }
+
+  // Rotation bookkeeping stays serial and in row order: aliased rows
+  // never rotate (their zones hand out static addresses), and an
+  // unrouted row has no zone at all.
+  const auto& zones = universe_->zones();
+  for (std::size_t i = base; i < total; ++i) {
+    if (zone_[i] == ResolvedTarget::kNoZone) continue;
+    if (flags_[i] & ResolvedTarget::kAliased) continue;
+    if (zones[zone_[i]].config().lifetime_days > 0) {
+      rotating_rows_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+void ResolvedTargetTable::refresh(const Address* addrs, int day,
+                                  engine::Engine* engine) {
+  if (rotating_rows_.empty()) return;
+  const auto& zones = universe_->zones();
+  auto refresh_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::uint32_t row = rotating_rows_[k];
+      if (zones[zone_[row]].epoch(day) == epoch_[row]) continue;
+      store_row(row, sim_->resolve(addrs[row], day));
+    }
+  };
+  if (engine != nullptr && engine->parallel()) {
+    engine->parallel_for(rotating_rows_.size(), 512, refresh_rows);
+  } else {
+    refresh_rows(0, rotating_rows_.size());
+  }
+}
+
+}  // namespace v6h::scan

@@ -1,0 +1,92 @@
+#pragma once
+
+// Columnar cache of per-address universe resolution: one row per
+// target, SoA arrays for every field NetworkSim::probe used to
+// re-derive per probe (zone ref, inverted slot, service mask, machine
+// image, timestamp clock params). Rows are append-only and aligned
+// with hitlist::TargetStore rows, so each DayDelta extends the table
+// by exactly the day's new suffix; zones with rotating addresses
+// (privacy IIDs) record their resolution epoch and are lazily
+// re-resolved when a scan day crosses an epoch boundary.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ipv6/address.h"
+#include "netsim/network_sim.h"
+
+namespace v6h::scan {
+
+class ResolvedTargetTable {
+ public:
+  explicit ResolvedTargetTable(const netsim::NetworkSim& sim)
+      : sim_(&sim), universe_(&sim.universe()) {}
+
+  std::size_t size() const { return zone_.size(); }
+
+  /// Resolve `count` new addresses at `day`'s epoch and append their
+  /// rows. Resolution is a pure per-row function, so with an engine
+  /// the fill fans out across workers with index-addressed writes —
+  /// the table bytes are identical for any thread count.
+  void extend(const ipv6::Address* addrs, std::size_t count, int day,
+              engine::Engine* engine = nullptr);
+
+  /// Re-resolve the rows whose zone rotated into a new epoch since
+  /// they were last resolved. `addrs` is the full row-aligned address
+  /// array (rows before `size()` are read). Cheap on most days: only
+  /// rotating-zone rows are checked, and only epoch crossings re-run
+  /// the slot inversion.
+  void refresh(const ipv6::Address* addrs, int day,
+               engine::Engine* engine = nullptr);
+
+  /// SoA view for NetworkSim's batched probe_resolved hot path.
+  /// Invalidated by extend() (reallocation), not by refresh().
+  netsim::ResolvedColumns columns() const {
+    netsim::ResolvedColumns t;
+    t.zone = zone_.data();
+    t.slot = slot_.data();
+    t.addr_hash = addr_hash_.data();
+    t.flags = flags_.data();
+    t.service_mask = service_mask_.data();
+    t.ittl = ittl_.data();
+    t.wscale = wscale_.data();
+    t.options_id = options_id_.data();
+    t.ttl = ttl_.data();
+    t.mss = mss_.data();
+    t.wsize = wsize_.data();
+    t.ts_hz = ts_hz_.data();
+    t.ts_offset = ts_offset_.data();
+    return t;
+  }
+
+  /// Reassemble one row as the AoS record (tests, diagnostics).
+  netsim::ResolvedTarget row(std::size_t i) const;
+
+  std::size_t rotating_rows() const { return rotating_rows_.size(); }
+
+ private:
+  void store_row(std::size_t row, const netsim::ResolvedTarget& r);
+
+  const netsim::NetworkSim* sim_;
+  const netsim::Universe* universe_;
+  std::vector<std::uint32_t> zone_;
+  std::vector<std::uint32_t> slot_;
+  std::vector<std::uint64_t> addr_hash_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint8_t> service_mask_;
+  std::vector<std::uint8_t> ittl_;
+  std::vector<std::uint8_t> wscale_;
+  std::vector<std::uint8_t> options_id_;
+  std::vector<std::uint8_t> ttl_;
+  std::vector<std::uint16_t> mss_;
+  std::vector<std::uint16_t> wsize_;
+  std::vector<std::uint32_t> ts_hz_;
+  std::vector<std::uint32_t> ts_offset_;
+  std::vector<std::int32_t> epoch_;  // resolution epoch per row
+  // Rows living in zones with lifetime_days > 0; the only rows whose
+  // cached resolution can go stale.
+  std::vector<std::uint32_t> rotating_rows_;
+};
+
+}  // namespace v6h::scan

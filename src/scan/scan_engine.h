@@ -1,0 +1,67 @@
+#pragma once
+
+// The resolved-target scan engine: the daily full-hitlist scan and
+// the APD probe fan-out, rebuilt on top of cached probe routing.
+//
+// A ScanEngine owns a ResolvedTargetTable aligned with the pipeline's
+// TargetStore rows. Each day it extends the table by the day's new
+// rows (sync), refreshes rotation epochs, and then answers the
+// protocol scan from NetworkSim's batched probe_resolved hot path —
+// no per-probe universe lookups. A ProbeSchedule picks protocols,
+// probe budget, retry policy, and interleave; the default schedule is
+// byte-identical to the legacy Scanner::scan_legacy path for any
+// thread count (tests/test_scan_equivalence.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+#include "hitlist/target_store.h"
+#include "ipv6/address.h"
+#include "net/protocol.h"
+#include "netsim/network_sim.h"
+#include "probe/scanner.h"
+#include "scan/probe_schedule.h"
+#include "scan/resolved_table.h"
+
+namespace v6h::scan {
+
+class ScanEngine {
+ public:
+  explicit ScanEngine(netsim::NetworkSim& sim, engine::Engine* engine = nullptr)
+      : sim_(&sim), engine_(engine), table_(sim) {}
+
+  /// Bring the resolution table up to date with `store`: re-resolve
+  /// rotation-epoch crossings among existing rows, then resolve and
+  /// append the rows added since the last sync (the DayDelta suffix).
+  void sync(const hitlist::TargetStore& store, int day);
+
+  /// The daily protocol scan: probe every non-aliased row of `store`
+  /// (insertion order) under `schedule`. Requires sync(store, day)
+  /// first. report.targets holds one entry per admitted target.
+  probe::ScanReport scan_store(const hitlist::TargetStore& store, int day,
+                               const ProbeSchedule& schedule = {});
+
+  /// Scan an ad-hoc address list through a transient resolution (each
+  /// target resolved once, probed protocols.size() x attempts times).
+  /// This is what Scanner::scan routes through.
+  probe::ScanReport scan_addresses(const std::vector<ipv6::Address>& targets,
+                                   int day, const ProbeSchedule& schedule = {});
+
+  /// APD fan-out batch: resolve-and-probe addrs[0..count) with
+  /// seq = first_seq + i, returning how many responded. Fan-out
+  /// addresses are salted per day, so there is nothing to cache
+  /// across days — this is the routed (resolve + probe_resolved)
+  /// form of the detector's probe loop, byte-identical to it.
+  unsigned probe_fanout(const ipv6::Address* addrs, std::size_t count,
+                        net::Protocol protocol, int day, unsigned first_seq);
+
+  const ResolvedTargetTable& table() const { return table_; }
+
+ private:
+  netsim::NetworkSim* sim_;
+  engine::Engine* engine_;
+  ResolvedTargetTable table_;
+};
+
+}  // namespace v6h::scan

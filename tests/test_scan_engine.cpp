@@ -1,0 +1,249 @@
+// The resolved-probe contract (ISSUE 4): probing through a cached
+// resolution must be byte-identical to NetworkSim::probe for every
+// kind of address the universe can produce — aliased space, carve-out
+// islands, honest hosts, dead discoverable addresses, rotating
+// privacy addresses across epoch boundaries, and unrouted space — for
+// all protocols, several days, and several seq values. Also covers
+// the ScanEngine address-scan against Scanner::scan_legacy, and the
+// ProbeSchedule budget/retry scenarios.
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "netsim/network_sim.h"
+#include "netsim/universe.h"
+#include "probe/scanner.h"
+#include "scan/probe_schedule.h"
+#include "scan/resolved_table.h"
+#include "scan/scan_engine.h"
+#include "test_main.h"
+#include "util/rng.h"
+
+using namespace v6h;
+
+namespace {
+
+bool same_result(const netsim::ProbeResult& a, const netsim::ProbeResult& b) {
+  return a.responded == b.responded && a.ttl == b.ttl && a.ittl == b.ittl &&
+         a.wscale == b.wscale && a.mss == b.mss && a.wsize == b.wsize &&
+         a.options_id == b.options_id && a.has_timestamp == b.has_timestamp &&
+         a.tsval == b.tsval;
+}
+
+// Addresses exercising every resolution class, built per day so
+// rotating zones contribute their current canonical addresses as well
+// as yesterday's (now stale) ones.
+std::vector<ipv6::Address> probe_targets(const netsim::Universe& universe,
+                                         int day) {
+  std::vector<ipv6::Address> out;
+  util::Rng rng(0xbeef + static_cast<unsigned>(day));
+  for (std::size_t z = 0; z < universe.zones().size(); z += 7) {
+    const auto& zone = universe.zones()[z];
+    const auto pool = zone.discoverable_count();
+    // Live, dead-but-discoverable, and day-stale addresses.
+    out.push_back(zone.discoverable_address(0, day));
+    out.push_back(zone.discoverable_address(pool - 1, day));
+    out.push_back(zone.discoverable_address(
+        static_cast<std::uint32_t>(rng.uniform(pool)), day));
+    if (zone.config().lifetime_days > 0) {
+      out.push_back(zone.discoverable_address(0, day + zone.config().lifetime_days));
+    }
+    // Random (usually non-canonical) addresses inside the zone, and
+    // APD-style fan-out probes of its prefix.
+    out.push_back(zone.prefix().random_address(rng.next_u64()));
+    out.push_back(zone.prefix().fanout_address(
+        static_cast<unsigned>(z & 0xf), rng.next_u64()));
+    if (zone.config().carveout) {
+      out.push_back(zone.config().carveout->random_address(rng.next_u64()));
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    // Unrouted space (the universe announces under 2001:xxxx::/32).
+    out.push_back(ipv6::Address::from_u64(0xfd00000000000000ULL + rng.next_u64(),
+                                          rng.next_u64()));
+  }
+  return out;
+}
+
+void run_probe_equivalence() {
+  netsim::UniverseParams params;
+  params.seed = 7;
+  params.scale = 0.05;
+  params.tail_as_count = 200;
+  const netsim::Universe universe(params);
+  netsim::NetworkSim sim(universe);
+
+  std::size_t rotating_seen = 0;
+  std::size_t mismatches = 0;
+  // Days spaced to cross rotation epochs (ISP zones rotate every
+  // 25..55 days with phases up to 60).
+  for (const int day : {0, 13, 61, 200}) {
+    const auto targets = probe_targets(universe, day);
+    scan::ResolvedTargetTable table(sim);
+    table.extend(targets.data(), targets.size(), day);
+    rotating_seen += table.rotating_rows();
+    const auto cols = table.columns();
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const std::uint32_t row = static_cast<std::uint32_t>(i);
+      for (const auto protocol : net::kAllProtocols) {
+        for (const unsigned seq : {0u, 3u}) {
+          const auto legacy = sim.probe(targets[i], protocol, day, seq);
+          const auto aos =
+              sim.probe_resolved(sim.resolve(targets[i], day), protocol, day, seq);
+          netsim::ProbeResult soa;
+          sim.probe_resolved(cols, &row, 1, protocol, day, seq, &soa);
+          net::ProtocolMask mask = 0;
+          sim.probe_resolved_mask(cols, &row, 1, protocol, day, seq, &mask);
+          mismatches += !same_result(legacy, aos);
+          mismatches += !same_result(legacy, soa);
+          mismatches += (mask != 0) != legacy.responded;
+        }
+      }
+    }
+  }
+  CHECK_EQ(mismatches, 0u);
+  CHECK(rotating_seen > 0);  // the sweep must cover rotating zones
+
+  // A table extended at day D then refreshed across an epoch boundary
+  // must answer like a fresh resolution at the later day.
+  {
+    const int day0 = 0;
+    const int day1 = 120;  // far past every zone's first rotation
+    const auto targets = probe_targets(universe, day0);
+    scan::ResolvedTargetTable table(sim);
+    table.extend(targets.data(), targets.size(), day0);
+    table.refresh(targets.data(), day1);
+    const auto cols = table.columns();
+    std::size_t stale = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const std::uint32_t row = static_cast<std::uint32_t>(i);
+      netsim::ProbeResult refreshed;
+      sim.probe_resolved(cols, &row, 1, net::Protocol::kIcmp, day1, 0, &refreshed);
+      stale += !same_result(sim.probe(targets[i], net::Protocol::kIcmp, day1, 0),
+                            refreshed);
+    }
+    CHECK_EQ(stale, 0u);
+  }
+}
+
+void run_scan_equivalence(const std::vector<unsigned>& thread_counts) {
+  netsim::UniverseParams params;
+  params.seed = 11;
+  params.scale = 0.05;
+  params.tail_as_count = 200;
+  const netsim::Universe universe(params);
+  const int day = 42;
+  std::vector<ipv6::Address> targets = probe_targets(universe, day);
+
+  netsim::NetworkSim reference_sim(universe);
+  probe::Scanner reference(reference_sim);
+  const auto baseline = reference.scan_legacy(targets, day);
+  const std::uint64_t baseline_probes = reference_sim.probes_sent();
+
+  for (const unsigned threads : thread_counts) {
+    engine::EngineOptions engine_options;
+    engine_options.threads = threads;
+    engine::Engine eng(engine_options);
+    netsim::NetworkSim sim(universe);
+    probe::Scanner scanner(sim, &eng);
+    for (const bool legacy : {false, true}) {
+      const auto report = legacy ? scanner.scan_legacy(targets, day)
+                                 : scanner.scan(targets, day);
+      CHECK_EQ(report.targets.size(), baseline.targets.size());
+      std::size_t diff = 0;
+      for (std::size_t i = 0; i < report.targets.size(); ++i) {
+        diff += report.targets[i].address != baseline.targets[i].address;
+        diff += report.targets[i].responded_mask !=
+                baseline.targets[i].responded_mask;
+      }
+      CHECK_EQ(diff, 0u);
+      CHECK_EQ(report.responsive_any_count(), baseline.responsive_any_count());
+      for (const auto protocol : net::kAllProtocols) {
+        CHECK_EQ(report.responsive_count(protocol),
+                 baseline.responsive_count(protocol));
+      }
+    }
+    CHECK_EQ(sim.probes_sent(), 2 * baseline_probes);
+  }
+
+  // Tallies must agree with a hand recount.
+  std::size_t any = 0;
+  for (const auto& t : baseline.targets) any += t.responded_any();
+  CHECK_EQ(baseline.responsive_any_count(), any);
+}
+
+void run_schedule_scenarios() {
+  netsim::UniverseParams params;
+  params.seed = 5;
+  params.scale = 0.05;
+  params.tail_as_count = 150;
+  const netsim::Universe universe(params);
+  const int day = 9;
+  const auto targets = probe_targets(universe, day);
+
+  // Budget: worst-case admission probes exactly the affordable prefix.
+  {
+    netsim::NetworkSim sim(universe);
+    scan::ScanEngine engine(sim);
+    scan::ProbeSchedule schedule;
+    schedule.daily_probe_budget = 40 * schedule.probes_per_target() + 3;
+    const auto report = engine.scan_addresses(targets, day, schedule);
+    CHECK_EQ(report.targets.size(), 40u);
+    CHECK(sim.probes_sent() <= schedule.daily_probe_budget);
+    CHECK_EQ(schedule.admitted_targets(10), 10u);
+    scan::ProbeSchedule unlimited;
+    CHECK_EQ(unlimited.admitted_targets(123), 123u);
+  }
+
+  // Retries can only add responders, and both interleaves agree.
+  {
+    netsim::NetworkSim sim(universe);
+    scan::ScanEngine engine(sim);
+    scan::ProbeSchedule plain;
+    const auto base = engine.scan_addresses(targets, day, plain);
+    scan::ProbeSchedule retrying;
+    retrying.retries = 2;
+    const auto retried = engine.scan_addresses(targets, day, retrying);
+    scan::ProbeSchedule target_major = retrying;
+    target_major.interleave = scan::ProbeSchedule::Interleave::kTargetMajor;
+    const auto by_target = engine.scan_addresses(targets, day, target_major);
+    CHECK(retried.responsive_any_count() >= base.responsive_any_count());
+    std::size_t lost = 0;
+    std::size_t interleave_diff = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      lost += (base.targets[i].responded_mask &
+               ~retried.targets[i].responded_mask) != 0;
+      interleave_diff +=
+          retried.targets[i].responded_mask != by_target.targets[i].responded_mask;
+    }
+    CHECK_EQ(lost, 0u);
+    CHECK_EQ(interleave_diff, 0u);
+  }
+
+  // Protocol names round-trip; unknown names are rejected.
+  for (const auto protocol : net::kAllProtocols) {
+    const auto parsed =
+        scan::protocol_from_name(scan::protocol_flag_name(protocol));
+    CHECK(parsed.has_value() && *parsed == protocol);
+  }
+  CHECK(!scan::protocol_from_name("tpc80").has_value());
+  CHECK(!scan::protocol_from_name("").has_value());
+  CHECK_EQ(scan::protocols_to_string({net::Protocol::kIcmp,
+                                      net::Protocol::kUdp443}),
+           std::string("icmp,udp443"));
+}
+
+void run_tests(const std::vector<unsigned>& thread_counts) {
+  run_probe_equivalence();
+  run_scan_equivalence(thread_counts);
+  run_schedule_scenarios();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tests(v6h::test::thread_counts_from_cli(argc, argv, {1, 4}));
+  std::printf("%d checks, %d failures\n", v6h::test::checks,
+              v6h::test::failures);
+  return v6h::test::failures == 0 ? 0 : 1;
+}
