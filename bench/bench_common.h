@@ -111,6 +111,10 @@ struct BenchArgs {
   int threads = 0;       // engine workers; 0 = hardware concurrency, 1 = serial
   bool rebuild_each_day = false;  // legacy full-rebuild day loop
   bool legacy_scan = false;       // legacy per-probe scan path
+  // Consume daily scan results through the materializing
+  // ScanFrame::to_report() adapter instead of the zero-allocation
+  // frame (bench_fig8's frame-vs-adapter cost comparison).
+  bool legacy_report = false;
   // Scan-schedule scenario knobs (--protocols, --probe-budget,
   // --retries); defaults reproduce the paper's full scan.
   std::vector<net::Protocol> protocols{net::kAllProtocols.begin(),
@@ -141,6 +145,8 @@ struct BenchArgs {
         args.rebuild_each_day = true;
       } else if (std::strcmp(argv[i], "--legacy-scan") == 0) {
         args.legacy_scan = true;
+      } else if (std::strcmp(argv[i], "--legacy-report") == 0) {
+        args.legacy_report = true;
       } else if (std::strcmp(argv[i], "--protocols") == 0) {
         args.protocols =
             detail::parse_protocols("--protocols", next_value("--protocols"));
@@ -155,7 +161,7 @@ struct BenchArgs {
         std::printf(
             "flags: --scale S --days N --horizon D --threads T --out DIR "
             "--protocols icmp,tcp80,tcp443,udp53,udp443 --probe-budget N "
-            "--retries N --rebuild-each-day --legacy-scan\n");
+            "--retries N --rebuild-each-day --legacy-scan --legacy-report\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -251,12 +257,15 @@ inline void compare(const char* label, const std::string& paper,
 }
 
 /// Assemble the cumulative hitlist by running the pipeline for
-/// `days` daily cycles ending at the growth horizon.
-inline hitlist::Pipeline::DayReport run_pipeline_days(hitlist::Pipeline& pipeline,
-                                                      const BenchArgs& args) {
+/// `days` daily cycles ending at the growth horizon. The returned
+/// report borrows the pipeline's frame (last day's scan); a sink, if
+/// given, streams every day's APD fan-out counters and scan rows.
+inline hitlist::Pipeline::DayReport run_pipeline_days(
+    hitlist::Pipeline& pipeline, const BenchArgs& args,
+    scan::ResultSink* sink = nullptr) {
   hitlist::Pipeline::DayReport report;
   for (int i = args.days - 1; i >= 0; --i) {
-    report = pipeline.run_day(args.horizon - i);
+    report = pipeline.run_day(args.horizon - i, sink);
   }
   return report;
 }

@@ -20,8 +20,11 @@ int main(int argc, char** argv) {
 
   bench::header("Figure 3a: clusters of UDP/53-responsive /32s (F9-32)");
   std::vector<ipv6::Address> dns_hosts;
-  for (const auto& t : report.scan.targets) {
-    if (t.responded(net::Protocol::kUdp53)) dns_hosts.push_back(t.address);
+  const auto& frame = report.scan();
+  for (const auto row : frame.rows()) {
+    if (net::responds_to(frame.mask_of_row(row), net::Protocol::kUdp53)) {
+      dns_hosts.push_back(frame.address_of_row(row));
+    }
   }
   std::printf("  UDP/53 responsive addresses: %zu\n", dns_hosts.size());
   entropy::ClusteringOptions options;

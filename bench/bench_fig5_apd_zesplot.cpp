@@ -6,9 +6,52 @@
 #include "bench_common.h"
 #include "hitlist/stats.h"
 #include "probe/scanner.h"
+#include "scan/scan_frame.h"
 #include "zesplot/zesplot.h"
 
 using namespace v6h;
+
+namespace {
+
+// Streaming zesplot accumulator for the unfiltered full-hitlist scan:
+// count ICMP responses per announced prefix as rows complete, without
+// holding any materialized copy of the scan.
+class PrefixResponseSink final : public scan::ResultSink {
+ public:
+  PrefixResponseSink(const ipv6::Address* addrs, const netsim::BgpTable& bgp)
+      : addrs_(addrs), bgp_(&bgp) {}
+
+  void on_target(std::uint32_t row, net::ProtocolMask mask) override {
+    if (!net::responds_to(mask, net::Protocol::kIcmp)) return;
+    if (const auto* hit = bgp_->lookup(addrs_[row])) {
+      responses_.add(hit->prefix);
+    }
+  }
+
+  const util::Counter<ipv6::Prefix>& responses() const { return responses_; }
+
+ private:
+  const ipv6::Address* addrs_;
+  const netsim::BgpTable* bgp_;
+  util::Counter<ipv6::Prefix> responses_;
+};
+
+// Streaming APD consumer: collect the prefixes the detector judged
+// aliased straight from the fan-out counter stream.
+class AliasedPrefixSink final : public scan::ResultSink {
+ public:
+  void on_fanout(const ipv6::Prefix& prefix, unsigned responded,
+                 bool aliased) override {
+    (void)responded;
+    if (aliased) aliased_.push_back(prefix);
+  }
+  const std::vector<ipv6::Prefix>& aliased() const { return aliased_; }
+
+ private:
+  std::vector<ipv6::Prefix> aliased_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
@@ -22,20 +65,20 @@ int main(int argc, char** argv) {
   hitlist::Pipeline pipeline(universe, sim, options, &eng);
   bench::run_pipeline_days(pipeline, args);
 
-  // (a) probe EVERYTHING (no APD filter) on ICMP.
+  // (a) probe EVERYTHING (no APD filter) on ICMP, streaming the
+  // per-prefix response counts off the scan instead of materializing
+  // a report over the full hitlist.
   probe::Scanner scanner(sim, &eng);
   probe::ScanOptions scan_options;
   scan_options.protocols = {net::Protocol::kIcmp};
-  const auto unfiltered = scanner.scan(pipeline.targets(), args.horizon, scan_options);
+  PrefixResponseSink response_sink(pipeline.targets().data(), universe.bgp());
+  scan::ScanFrame unfiltered_frame;
+  scanner.scan(pipeline.targets(), args.horizon, scan_options,
+               &unfiltered_frame, &response_sink);
+  const util::Counter<ipv6::Prefix>& responses = response_sink.responses();
 
-  util::Counter<ipv6::Prefix> responses;
   std::map<ipv6::Prefix, std::uint32_t> asn_of;
   for (const auto& ann : universe.bgp().announcements()) asn_of[ann.prefix] = ann.asn;
-  for (const auto& t : unfiltered.targets) {
-    if (!t.responded(net::Protocol::kIcmp)) continue;
-    const auto hit = universe.bgp().lookup(t.address);
-    if (hit) responses.add(hit->prefix);
-  }
   std::vector<zesplot::Item> items_a;
   for (const auto& [prefix, count] : responses.raw()) {
     items_a.push_back({prefix, asn_of[prefix], count});
@@ -54,12 +97,13 @@ int main(int argc, char** argv) {
   for (const auto& [prefix, count] : responses.raw()) {
     announced_with_responses.push_back(prefix);
   }
-  const auto bgp_apd =
-      bgp_detector.run_day_on_prefixes(announced_with_responses, args.horizon);
+  AliasedPrefixSink apd_sink;
+  bgp_detector.run_day_on_prefixes(announced_with_responses, args.horizon,
+                                   &apd_sink);
   std::vector<zesplot::Item> items_b;
   std::size_t aliased_count = 0;
   std::map<std::uint8_t, std::size_t> aliased_lengths;
-  for (const auto& prefix : bgp_apd.aliased) {
+  for (const auto& prefix : apd_sink.aliased()) {
     ++aliased_count;
     ++aliased_lengths[prefix.length()];
     items_b.push_back({prefix, asn_of[prefix], responses.raw().at(prefix)});

@@ -9,7 +9,12 @@
 // time per day, probes, targets for both modes) to --out so the perf
 // trajectory is machine-readable from CI. It also times the resolved
 // scan engine against the legacy per-probe path over the final
-// hitlist and writes the per-probe cost of both to BENCH_scan.json.
+// hitlist and writes the per-probe cost of both to BENCH_scan.json,
+// and times daily result consumption through the zero-allocation
+// ScanFrame against the materializing to_report() adapter
+// (--legacy-report flips which is primary) into BENCH_frame.json —
+// per-day wall time plus heap-allocation counts from the counting
+// allocator below, with a no-regression contract on day_ms.
 //
 // `--protocols` restricts both the daily scans and the per-source
 // longitudinal rows to a subset (QUIC rows need udp443, the ICMP
@@ -20,6 +25,10 @@
 #include "bench_common.h"
 #include "probe/scanner.h"
 #include "scan/scan_engine.h"
+// Replaces global operator new with the shared counting version the
+// zero-alloc test uses, so the per-day series below can report how
+// much heap churn each consumption mode causes.
+#include "util/counting_allocator.h"
 
 using namespace v6h;
 
@@ -37,17 +46,52 @@ struct DaySeries {
   std::vector<std::size_t> new_addresses;
   std::vector<std::size_t> scanned_targets;
   std::vector<std::uint64_t> probes;
+  std::vector<std::uint64_t> allocs;  // heap allocations per whole day
+  // Allocations of the result-consumption step alone (the serial
+  // frame read / to_report materialization, after run_day returned
+  // and the workers idled) — the deterministic half of `allocs`, and
+  // what the frame-vs-adapter contract compares.
+  std::vector<std::uint64_t> consume_allocs;
+  std::uint64_t responsive_total = 0;
+
+  double total_ms() const {
+    double out = 0.0;
+    for (const double ms : day_ms) out += ms;
+    return out;
+  }
+  std::uint64_t total_allocs() const {
+    std::uint64_t out = 0;
+    for (const auto n : allocs) out += n;
+    return out;
+  }
+  std::uint64_t total_consume_allocs() const {
+    std::uint64_t out = 0;
+    for (const auto n : consume_allocs) out += n;
+    return out;
+  }
 };
 
 // Run the day loop of `pipeline` (days ending at the horizon), timing
-// each run_day and recording the per-day probe delta.
+// each run_day + result consumption and recording the per-day probe
+// and allocation deltas. `materialize` consumes each day through the
+// ScanFrame::to_report() adapter (the pre-frame cost profile);
+// otherwise the borrowed frame is read in place.
 DaySeries run_timed_days(hitlist::Pipeline& pipeline, netsim::NetworkSim& sim,
-                         const bench::BenchArgs& args) {
+                         const bench::BenchArgs& args, bool materialize) {
   DaySeries series;
   std::uint64_t probes_before = sim.probes_sent();
   for (int i = args.days - 1; i >= 0; --i) {
+    const std::uint64_t allocs_before = util::allocation_count();
     const auto start = std::chrono::steady_clock::now();
     const auto report = pipeline.run_day(args.horizon - i);
+    const std::uint64_t consume_before = util::allocation_count();
+    if (materialize) {
+      const auto copy = report.scan().to_report();
+      series.responsive_total += copy.responsive_any_count();
+    } else {
+      series.responsive_total += report.scan().responsive_any_count();
+    }
+    series.consume_allocs.push_back(util::allocation_count() - consume_before);
     const auto stop = std::chrono::steady_clock::now();
     series.day_ms.push_back(
         std::chrono::duration<double, std::milli>(stop - start).count());
@@ -55,6 +99,7 @@ DaySeries run_timed_days(hitlist::Pipeline& pipeline, netsim::NetworkSim& sim,
     series.scanned_targets.push_back(report.scanned_targets);
     series.probes.push_back(sim.probes_sent() - probes_before);
     probes_before = sim.probes_sent();
+    series.allocs.push_back(util::allocation_count() - allocs_before);
   }
   return series;
 }
@@ -87,6 +132,8 @@ std::string mode_json(const char* mode, const DaySeries& series) {
   out += ",\n    \"new_addresses\": " + json_array(series.new_addresses);
   out += ",\n    \"scanned_targets\": " + json_array(series.scanned_targets);
   out += ",\n    \"probes\": " + json_array(series.probes);
+  out += ",\n    \"allocs\": " + json_array(series.allocs);
+  out += ",\n    \"consume_allocs\": " + json_array(series.consume_allocs);
   out += "\n  }";
   return out;
 }
@@ -101,7 +148,8 @@ int main(int argc, char** argv) {
   const netsim::Universe universe(args.universe_params(), &eng);
   netsim::NetworkSim sim(universe);
   hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
-  const DaySeries primary = run_timed_days(pipeline, sim, args);
+  const DaySeries primary =
+      run_timed_days(pipeline, sim, args, args.legacy_report);
 
   // The other mode over the same days, as the perf baseline pair:
   // incremental vs full rebuild, byte-identical output by contract.
@@ -109,7 +157,17 @@ int main(int argc, char** argv) {
   other_options.rebuild_each_day = !args.rebuild_each_day;
   netsim::NetworkSim other_sim(universe);
   hitlist::Pipeline other_pipeline(universe, other_sim, other_options, &eng);
-  const DaySeries other = run_timed_days(other_pipeline, other_sim, args);
+  const DaySeries other =
+      run_timed_days(other_pipeline, other_sim, args, args.legacy_report);
+
+  // Result-consumption pair: the same pipeline config as `primary`,
+  // consumed through the opposite result surface (reusable frame vs
+  // the materializing to_report() adapter), for BENCH_frame.json.
+  netsim::NetworkSim adapter_sim(universe);
+  hitlist::Pipeline adapter_pipeline(universe, adapter_sim,
+                                     args.pipeline_options(), &eng);
+  const DaySeries consumption_other =
+      run_timed_days(adapter_pipeline, adapter_sim, args, !args.legacy_report);
 
   {
     const DaySeries& incremental = args.rebuild_each_day ? other : primary;
@@ -122,13 +180,68 @@ int main(int argc, char** argv) {
     json += mode_json("incremental", incremental) + ",\n";
     json += mode_json("rebuild_each_day", rebuild) + "\n}\n";
     bench::write_file(args.out_dir + "/BENCH_pipeline.json", json);
-    double inc_total = 0.0, reb_total = 0.0;
-    for (const double ms : incremental.day_ms) inc_total += ms;
-    for (const double ms : rebuild.day_ms) reb_total += ms;
     std::printf(
         "  day loop: incremental %.1f ms, rebuild-each-day %.1f ms over %d "
         "days\n",
-        inc_total, reb_total, args.days);
+        incremental.total_ms(), rebuild.total_ms(), args.days);
+  }
+
+  // BENCH_frame.json: per-day cost of consuming scan results through
+  // the reusable frame vs the --legacy-report adapter path, over
+  // identically-configured pipelines. Contracts: both modes see the
+  // same responses, the consumption step (measured alone, serial, so
+  // thread-pool allocation jitter inside run_day cannot leak in)
+  // allocates strictly less down the frame path, and frame day wall
+  // time must not regress past the adapter path (generous margin:
+  // the shared probing work dominates and is noisy). The whole-day
+  // `allocs` series stays informational — it tracks the remaining
+  // run_day churn ROADMAP records.
+  {
+    const DaySeries& frame_series =
+        args.legacy_report ? consumption_other : primary;
+    const DaySeries& report_series =
+        args.legacy_report ? primary : consumption_other;
+    std::string json = "{\n  \"bench\": \"frame_consumption\",\n";
+    json += "  \"scale\": " + std::to_string(args.scale) + ",\n";
+    json += "  \"days\": " + std::to_string(args.days) + ",\n";
+    json += "  \"threads\": " + std::to_string(args.threads) + ",\n";
+    json += mode_json("frame", frame_series) + ",\n";
+    json += mode_json("report_adapter", report_series) + "\n}\n";
+    bench::write_file(args.out_dir + "/BENCH_frame.json", json);
+    std::printf(
+        "  result consumption: frame %.1f ms / %llu allocs, to_report "
+        "adapter %.1f ms / %llu allocs over %d days\n",
+        frame_series.total_ms(),
+        static_cast<unsigned long long>(frame_series.total_consume_allocs()),
+        report_series.total_ms(),
+        static_cast<unsigned long long>(report_series.total_consume_allocs()),
+        args.days);
+    if (frame_series.responsive_total != report_series.responsive_total) {
+      std::fprintf(stderr,
+                   "consumption modes disagree: frame saw %llu responders, "
+                   "adapter %llu\n",
+                   static_cast<unsigned long long>(frame_series.responsive_total),
+                   static_cast<unsigned long long>(report_series.responsive_total));
+      return 1;
+    }
+    if (frame_series.total_consume_allocs() >=
+        report_series.total_consume_allocs()) {
+      std::fprintf(
+          stderr,
+          "frame consumption no longer allocates less than the adapter "
+          "path (%llu vs %llu)\n",
+          static_cast<unsigned long long>(frame_series.total_consume_allocs()),
+          static_cast<unsigned long long>(
+              report_series.total_consume_allocs()));
+      return 1;
+    }
+    if (frame_series.total_ms() > report_series.total_ms() * 1.25 + 100.0) {
+      std::fprintf(stderr,
+                   "frame day_ms regressed past the adapter path "
+                   "(%.1f ms vs %.1f ms)\n",
+                   frame_series.total_ms(), report_series.total_ms());
+      return 1;
+    }
   }
 
   auto& sources = pipeline.source_simulator();
@@ -153,6 +266,8 @@ int main(int argc, char** argv) {
     pipeline.store().unaliased_addresses(&targets);
     scan::ScanEngine scan_engine(sim, &eng);
     scan_engine.sync(pipeline.store(), day0);
+    scan::ScanFrame frame;
+    scan::ScanFrame legacy_frame;
 
     auto time_ms = [](auto&& fn) {
       const auto start = std::chrono::steady_clock::now();
@@ -166,14 +281,12 @@ int main(int argc, char** argv) {
     std::uint64_t legacy_responses = 0;
     for (int rep = 0; rep < reps; ++rep) {
       resolved_ms += time_ms([&] {
-        resolved_responses +=
-            scan_engine.scan_store(pipeline.store(), day0, schedule)
-                .responsive_any_count();
+        scan_engine.scan_store(pipeline.store(), day0, schedule, &frame);
+        resolved_responses += frame.responsive_any_count();
       });
       legacy_ms += time_ms([&] {
-        legacy_responses +=
-            scanner.scan_legacy(targets, day0, legacy_options)
-                .responsive_any_count();
+        scanner.scan_legacy(targets, day0, legacy_options, &legacy_frame);
+        legacy_responses += legacy_frame.responsive_any_count();
       });
     }
     if (resolved_responses != legacy_responses) {

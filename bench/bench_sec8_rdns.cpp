@@ -81,10 +81,11 @@ int main(int argc, char** argv) {
                                    static_cast<double>(r.targets.size());
   };
   auto hitlist_rate = [&](net::Protocol p) {
-    return report.scan.targets.empty()
+    const auto& frame = report.scan();
+    return frame.rows().empty()
                ? 0.0
-               : static_cast<double>(report.scan.responsive_count(p)) /
-                     static_cast<double>(report.scan.targets.size());
+               : static_cast<double>(frame.responsive_count(p)) /
+                     static_cast<double>(frame.rows().size());
   };
   util::TextTable rates({"Protocol", "rDNS", "hitlist", "paper rDNS", "paper hitlist"});
   rates.add_row({"ICMP", util::percent(rate(rdns_scan, net::Protocol::kIcmp)),

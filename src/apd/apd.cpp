@@ -6,6 +6,7 @@
 
 #include "engine/shard.h"
 #include "scan/scan_engine.h"
+#include "scan/scan_frame.h"
 #include "util/rng.h"
 
 namespace v6h::apd {
@@ -124,7 +125,7 @@ PrefixOutcome AliasDetector::probe_prefix(const Prefix& prefix, int day) {
 }
 
 DayOutcome AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixes,
-                                              int day) {
+                                              int day, scan::ResultSink* sink) {
   DayOutcome out;
   const std::size_t n = prefixes.size();
   std::vector<PrefixOutcome> outcomes(n);
@@ -163,6 +164,9 @@ DayOutcome AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixe
       (current ? out.became_aliased : out.became_clean).push_back(prefix);
     }
     if (current) out.aliased.push_back(prefix);
+    if (sink != nullptr) {
+      sink->on_fanout(prefix, outcomes[i].responded, current);
+    }
   }
   return out;
 }

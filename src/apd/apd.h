@@ -19,6 +19,7 @@
 #include "netsim/network_sim.h"
 
 namespace v6h::scan {
+class ResultSink;
 class ScanEngine;
 }  // namespace v6h::scan
 
@@ -136,8 +137,13 @@ class AliasDetector {
 
   /// One APD day over a candidate batch: probe (sharded across the
   /// engine workers when one is attached), update windows in input
-  /// order, and return the prefixes currently judged aliased.
-  DayOutcome run_day_on_prefixes(const std::vector<ipv6::Prefix>& prefixes, int day);
+  /// order, and return the prefixes currently judged aliased. The
+  /// fan-out counters stream through `sink` when one is given —
+  /// ResultSink::on_fanout(prefix, responded, windowed verdict) fires
+  /// serially in batch order, so a streaming consumer sees exactly
+  /// what DayOutcome materializes.
+  DayOutcome run_day_on_prefixes(const std::vector<ipv6::Prefix>& prefixes,
+                                 int day, scan::ResultSink* sink = nullptr);
 
   /// Multi-level candidate enumeration from hitlist addresses: the
   /// announced prefix plus /48../112 aggregates holding enough targets.

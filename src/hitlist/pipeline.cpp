@@ -95,7 +95,7 @@ Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
   if (!options_.legacy_scan) detector_.set_scan_engine(&scan_engine_);
 }
 
-Pipeline::DayReport Pipeline::run_day(int day) {
+Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   DayReport report;
   report.day = day;
   DayDelta delta;
@@ -132,7 +132,7 @@ Pipeline::DayReport Pipeline::run_day(int day) {
   }
   const auto& candidates =
       options_.rebuild_each_day ? recounted : counter_.candidates();
-  auto outcome = detector_.run_day_on_prefixes(candidates, day);
+  auto outcome = detector_.run_day_on_prefixes(candidates, day, sink);
   delta.became_aliased = std::move(outcome.became_aliased);
   delta.became_clean = std::move(outcome.became_clean);
 
@@ -168,23 +168,36 @@ Pipeline::DayReport Pipeline::run_day(int day) {
   }
   report.aliased_prefixes = filter_.prefixes().size();
 
-  // 4. Scan everything not inside detected aliased space. The
-  // resolved engine extends its per-row cache by the day's new rows
-  // and answers every probe from it; the legacy hatch re-resolves per
-  // probe. Identical reports either way — only per-probe cost
-  // differs.
+  // 4. Scan everything not inside detected aliased space into the
+  // reusable frame. The resolved engine extends its per-row cache by
+  // the day's new rows and answers every probe from it; the legacy
+  // hatch re-resolves per probe and its masks are copied into the
+  // frame so both paths hand consumers the same surface. Identical
+  // frames either way — only per-probe cost differs.
   if (options_.legacy_scan) {
     std::vector<Address> scan_targets;
     store_.unaliased_addresses(&scan_targets);
-    report.scanned_targets = scan_targets.size();
     probe::ScanOptions scan_options;
     scan_options.protocols = options_.schedule.protocols;
-    report.scan = scanner_.scan_legacy(scan_targets, day, scan_options);
+    // The legacy probe sweep fills a reusable list-aligned scratch
+    // frame; only the masks are re-scattered into the store-aligned
+    // frame (no per-day report materialization even on this path).
+    scanner_.scan_legacy(scan_targets, day, scan_options, &legacy_scratch_);
+    const auto& rows = store_.unaliased_rows();
+    frame_.reset(day, store_.addresses().data(), store_.size());
+    frame_.admit(rows.data(), rows.size());
+    net::ProtocolMask* masks = frame_.mutable_masks();
+    const net::ProtocolMask* legacy_masks = legacy_scratch_.masks();
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      masks[rows[k]] = legacy_masks[k];
+    }
+    frame_.finish(sink);
   } else {
     scan_engine_.sync(store_, day);
-    report.scan = scan_engine_.scan_store(store_, day, options_.schedule);
-    report.scanned_targets = report.scan.targets.size();
+    scan_engine_.scan_store(store_, day, options_.schedule, &frame_, sink);
   }
+  report.scanned_targets = frame_.rows().size();
+  report.frame = &frame_;
   delta_ = std::move(delta);
   return report;
 }

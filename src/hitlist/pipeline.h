@@ -18,6 +18,11 @@
 // PipelineOptions::legacy_scan keeps the historical per-probe path
 // callable; both scan paths yield byte-identical DayReport sequences
 // and probe counts (tests/test_scan_equivalence.cpp).
+//
+// Scan results land in one pipeline-owned scan::ScanFrame reused
+// across days (zero steady-state allocations in the scan path);
+// DayReport borrows it, and streaming consumers can pass a
+// scan::ResultSink to run_day instead of holding any copy at all.
 
 #include <array>
 #include <cstdint>
@@ -35,6 +40,7 @@
 #include "probe/scanner.h"
 #include "scan/probe_schedule.h"
 #include "scan/scan_engine.h"
+#include "scan/scan_frame.h"
 #include "sources/sources.h"
 
 namespace v6h::hitlist {
@@ -115,11 +121,18 @@ class Pipeline {
     std::size_t new_addresses = 0;
     std::size_t aliased_prefixes = 0;
     std::size_t scanned_targets = 0;
-    probe::ScanReport scan;
+    /// The day's scan results, borrowed from the pipeline's reusable
+    /// frame: valid until the next run_day overwrites it. Call
+    /// scan().to_report() for an owned probe::ScanReport copy.
+    const scan::ScanFrame* frame = nullptr;
+
+    const scan::ScanFrame& scan() const { return *frame; }
   };
 
-  /// One daily cycle at `day`: collect -> APD -> scan.
-  DayReport run_day(int day);
+  /// One daily cycle at `day`: collect -> APD -> scan. When a sink is
+  /// given, the APD fan-out counters and every scanned row stream
+  /// through it (serially, deterministic order) as they complete.
+  DayReport run_day(int day, scan::ResultSink* sink = nullptr);
 
   /// Cumulative hitlist (pre-APD, deduplicated, insertion order).
   const std::vector<ipv6::Address>& targets() const {
@@ -135,13 +148,10 @@ class Pipeline {
   /// The persistent alias filter, kept current by run_day.
   const AliasFilter& filter() const { return filter_; }
 
-  /// Deprecated copying accessor; use filter() — the filter is now a
-  /// persistent member, so callers no longer need a by-value build.
-  [[deprecated("use filter() instead")]] AliasFilter alias_filter() const {
-    return filter_;
-  }
-
   const apd::AliasDetector& detector() const { return detector_; }
+
+  /// The reusable scan frame run_day refills (what DayReport borrows).
+  const scan::ScanFrame& frame() const { return frame_; }
 
   sources::SourceSimulator& source_simulator() { return sources_; }
 
@@ -162,6 +172,9 @@ class Pipeline {
   TargetStore store_;
   AliasFilter filter_;
   DayDelta delta_;
+  scan::ScanFrame frame_;
+  // Reusable list-aligned scratch for the --legacy-scan probe sweep.
+  scan::ScanFrame legacy_scratch_;
 };
 
 }  // namespace v6h::hitlist

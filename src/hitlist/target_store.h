@@ -51,7 +51,25 @@ class TargetStore {
   bool aliased(std::size_t row) const { return aliased_[row] != 0; }
   std::uint8_t shard(std::size_t row) const { return shards_[row]; }
 
-  void set_aliased(std::size_t row, bool value) { aliased_[row] = value; }
+  /// Flip a row's aliased verdict. The incremental unaliased-row
+  /// index records the flip (rows not yet indexed are swept up by the
+  /// next unaliased_rows() call instead).
+  void set_aliased(std::size_t row, bool value) {
+    if ((aliased_[row] != 0) == value) return;
+    aliased_[row] = value;
+    if (row < indexed_rows_) pending_flips_.push_back(static_cast<std::uint32_t>(row));
+  }
+
+  /// The rows whose current aliased flag is clear, in ascending row
+  /// (= insertion) order: the day's scan list. Maintained
+  /// incrementally — rows appended since the last call are swept once
+  /// (O(new)), and recorded verdict flips are folded in with one
+  /// linear merge on the (rare) days any occurred — instead of
+  /// re-gathering the whole flags column per scan. Steady-state calls
+  /// perform no heap allocations once capacity is warm. Lazily
+  /// flushed under the hood: not safe to race with concurrent calls,
+  /// like every other mutation of the store.
+  const std::vector<std::uint32_t>& unaliased_rows() const;
 
   /// Append the rows whose address lies inside `prefix` (ascending
   /// address order) — binary search per sorted run plus a bounded
@@ -66,7 +84,7 @@ class TargetStore {
                         std::vector<std::uint32_t>* rows) const;
 
   /// Append every non-aliased address in row (= first-seen) order:
-  /// the day's scan list.
+  /// the materialized form of unaliased_rows() (legacy scan path).
   void unaliased_addresses(std::vector<ipv6::Address>* out) const;
 
   std::size_t sorted_run_count() const { return runs_.size(); }
@@ -89,6 +107,14 @@ class TargetStore {
   // Ordered index: geometric sorted runs + an unsorted recent tail.
   std::vector<std::vector<Entry>> runs_;
   std::vector<Entry> tail_;
+  // Incremental unaliased-row index. `unaliased_rows_` covers rows
+  // [0, indexed_rows_); `pending_flips_` holds indexed rows whose
+  // flag changed since the last flush. Mutable: the flush is a cache
+  // fill behind a logically-const read.
+  mutable std::vector<std::uint32_t> unaliased_rows_;
+  mutable std::vector<std::uint32_t> unaliased_scratch_;
+  mutable std::vector<std::uint32_t> pending_flips_;
+  mutable std::uint32_t indexed_rows_ = 0;
 };
 
 }  // namespace v6h::hitlist

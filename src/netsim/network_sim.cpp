@@ -282,8 +282,11 @@ void NetworkSim::probe_resolved(const ResolvedColumns& t,
     out = ProbeResult{};
     if (!net::responds_to(t.service_mask[i], protocol)) continue;
     const ZoneProbeParams& zp = zones[t.zone[i]];
-    if (!resolved_responds(zp, t.flags[i], t.slot[i], t.addr_hash[i], protocol,
-                           day, seq)) {
+    const std::uint64_t addr_hash = (t.flags[i] & ResolvedTarget::kAliased)
+                                        ? t.alias_hash[t.slot[i]]
+                                        : 0;
+    if (!resolved_responds(zp, t.flags[i], t.slot[i], addr_hash, protocol, day,
+                           seq)) {
       continue;
     }
     out.responded = true;
@@ -312,9 +315,12 @@ void NetworkSim::probe_resolved_mask(const ResolvedColumns& t,
     const std::uint32_t i = rows[k];
     if (!net::responds_to(t.service_mask[i], protocol)) continue;
     const ZoneProbeParams& zp = zones[t.zone[i]];
-    if (resolved_responds(zp, t.flags[i], t.slot[i], t.addr_hash[i], protocol,
-                          day, seq)) {
-      masks[k] |= bit;
+    const std::uint64_t addr_hash = (t.flags[i] & ResolvedTarget::kAliased)
+                                        ? t.alias_hash[t.slot[i]]
+                                        : 0;
+    if (resolved_responds(zp, t.flags[i], t.slot[i], addr_hash, protocol, day,
+                          seq)) {
+      masks[i] |= bit;
     }
   }
 }

@@ -77,10 +77,14 @@ struct ResolvedTarget {
 /// Struct-of-arrays view over a table of ResolvedTarget rows (owned by
 /// scan::ResolvedTargetTable): the batched hot path reads only the
 /// columns a predicate needs instead of striding over full records.
+/// The per-address hash is only read for aliased rows, so it lives in
+/// a dense side table instead of a per-row column: for rows with the
+/// kAliased flag, `slot[i]` indexes `alias_hash`; honest rows carry
+/// their host slot there and no hash at all.
 struct ResolvedColumns {
   const std::uint32_t* zone = nullptr;
   const std::uint32_t* slot = nullptr;
-  const std::uint64_t* addr_hash = nullptr;
+  const std::uint64_t* alias_hash = nullptr;
   const std::uint8_t* flags = nullptr;
   const std::uint8_t* service_mask = nullptr;
   const std::uint8_t* ittl = nullptr;
@@ -132,9 +136,12 @@ class NetworkSim {
                       std::size_t count, net::Protocol protocol, int day,
                       unsigned seq, ProbeResult* results);
 
-  /// Scan hot path: OR `mask_of(protocol)` into masks[k] when rows[k]
-  /// responds, touching only the predicate columns (no machine-image
-  /// fill). The responded bit is identical to probe().responded.
+  /// Scan hot path: OR `mask_of(protocol)` into masks[rows[k]] when
+  /// rows[k] responds — `masks` is a row-indexed column (e.g. a
+  /// scan::ScanFrame's mask column), so retries and partial sweeps
+  /// scatter into the same buffer without a position remap. Touches
+  /// only the predicate columns (no machine-image fill); the
+  /// responded bit is identical to probe().responded.
   void probe_resolved_mask(const ResolvedColumns& t, const std::uint32_t* rows,
                            std::size_t count, net::Protocol protocol, int day,
                            unsigned seq, net::ProtocolMask* masks);

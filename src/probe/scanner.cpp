@@ -2,37 +2,45 @@
 
 #include "engine/shard.h"
 #include "scan/scan_engine.h"
+#include "scan/scan_frame.h"
 
 namespace v6h::probe {
 
-ScanReport Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
-                         const ScanOptions& options) {
+void Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
+                   const ScanOptions& options, scan::ScanFrame* frame,
+                   scan::ResultSink* sink) {
   // Routed through the resolved batch path: one universe resolution
   // per target, then per-protocol probes from the cached record.
   scan::ScanEngine engine(*sim_, engine_);
   scan::ProbeSchedule schedule;
   schedule.protocols = options.protocols;
-  return engine.scan_addresses(targets, day, schedule);
+  engine.scan_addresses(targets, day, schedule, frame, sink);
 }
 
-ScanReport Scanner::scan_legacy(const std::vector<ipv6::Address>& targets,
-                                int day, const ScanOptions& options) {
-  ScanReport report;
-  report.day = day;
-  report.targets.resize(targets.size());
+ScanReport Scanner::scan(const std::vector<ipv6::Address>& targets, int day,
+                         const ScanOptions& options) {
+  scan::ScanFrame frame;
+  scan(targets, day, options, &frame);
+  return frame.to_report();
+}
+
+void Scanner::scan_legacy(const std::vector<ipv6::Address>& targets, int day,
+                          const ScanOptions& options, scan::ScanFrame* frame) {
+  frame->reset(day, targets.data(), targets.size());
+  frame->admit_iota(targets.size());
+  net::ProtocolMask* masks = frame->mutable_masks();
   auto probe_target = [&](std::size_t i) {
-    TargetResult result;
-    result.address = targets[i];
+    net::ProtocolMask mask = 0;
     for (const auto protocol : options.protocols) {
       if (sim_->probe(targets[i], protocol, day, 0).responded) {
-        result.responded_mask |= net::mask_of(protocol);
+        mask |= net::mask_of(protocol);
       }
     }
-    report.targets[i] = result;
+    masks[i] = mask;
   };
   if (engine_ != nullptr && engine_->parallel()) {
     // Shard-batched on the workers; index-addressed writes keep the
-    // report order identical to the serial path.
+    // mask column identical to the serial path.
     const auto order = engine::shard_order(
         targets, [](const ipv6::Address& a) { return engine::shard_of(a); });
     engine_->parallel_for(targets.size(), 64,
@@ -44,33 +52,14 @@ ScanReport Scanner::scan_legacy(const std::vector<ipv6::Address>& targets,
   } else {
     for (std::size_t i = 0; i < targets.size(); ++i) probe_target(i);
   }
-  report.tally();
-  return report;
+  frame->finish(nullptr);
 }
 
-std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount>
-conditional_responsiveness(const std::vector<TargetResult>& targets) {
-  std::array<std::array<std::uint64_t, net::kProtocolCount>, net::kProtocolCount>
-      joint{};
-  std::array<std::uint64_t, net::kProtocolCount> marginal{};
-  for (const auto& t : targets) {
-    for (std::size_t x = 0; x < net::kProtocolCount; ++x) {
-      if (!t.responded(net::kAllProtocols[x])) continue;
-      ++marginal[x];
-      for (std::size_t y = 0; y < net::kProtocolCount; ++y) {
-        joint[y][x] += t.responded(net::kAllProtocols[y]);
-      }
-    }
-  }
-  std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount> out{};
-  for (std::size_t y = 0; y < net::kProtocolCount; ++y) {
-    for (std::size_t x = 0; x < net::kProtocolCount; ++x) {
-      out[y][x] = marginal[x] == 0 ? 0.0
-                                   : static_cast<double>(joint[y][x]) /
-                                         static_cast<double>(marginal[x]);
-    }
-  }
-  return out;
+ScanReport Scanner::scan_legacy(const std::vector<ipv6::Address>& targets,
+                                int day, const ScanOptions& options) {
+  scan::ScanFrame frame;
+  scan_legacy(targets, day, options, &frame);
+  return frame.to_report();
 }
 
 }  // namespace v6h::probe

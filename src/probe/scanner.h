@@ -2,6 +2,10 @@
 
 // The scan layer of Section 6: probe targets across the five
 // protocols and tally per-target response masks.
+//
+// Results live in a reusable scan::ScanFrame (see scan/scan_frame.h);
+// the materialized ScanReport below survives only as the on-demand
+// adapter ScanFrame::to_report() builds for one-shot consumers.
 
 #include <array>
 #include <cstdint>
@@ -11,6 +15,11 @@
 #include "ipv6/address.h"
 #include "net/protocol.h"
 #include "netsim/network_sim.h"
+
+namespace v6h::scan {
+class ScanFrame;
+class ResultSink;
+}  // namespace v6h::scan
 
 namespace v6h::probe {
 
@@ -29,11 +38,14 @@ struct TargetResult {
   bool responded_any() const { return responded_mask != 0; }
 };
 
+/// Materialized AoS scan result: one owned entry per admitted target
+/// plus the response tallies. Built exclusively by
+/// scan::ScanFrame::to_report() — the tallies are copied from the
+/// frame, never recomputed, so a report can no longer drift from the
+/// scan that produced it.
 struct ScanReport {
   int day = -1;
   std::vector<TargetResult> targets;
-  // Response tallies, filled by one pass over the masks when the scan
-  // finishes (tally()) instead of a full targets walk per query.
   std::array<std::uint64_t, net::kProtocolCount> responsive{};
   std::uint64_t responsive_any = 0;
 
@@ -42,20 +54,6 @@ struct ScanReport {
   }
   std::size_t responsive_any_count() const {
     return static_cast<std::size_t>(responsive_any);
-  }
-
-  /// Recompute the tallies from `targets`. Every scan path calls this
-  /// once; call it again after mutating `targets` by hand.
-  void tally() {
-    responsive.fill(0);
-    responsive_any = 0;
-    for (const auto& t : targets) {
-      if (t.responded_mask == 0) continue;
-      ++responsive_any;
-      for (std::size_t p = 0; p < net::kProtocolCount; ++p) {
-        responsive[p] += (t.responded_mask >> p) & 1u;
-      }
-    }
   }
 };
 
@@ -68,10 +66,17 @@ class Scanner {
     return sim_->probe(a, p, day, 0);
   }
 
-  /// Scan every target across the protocol set, routed through the
-  /// resolved batch path (scan::ScanEngine): each target is resolved
-  /// once and its per-protocol probes answer from the cached record.
+  /// Scan every target across the protocol set into `frame`, routed
+  /// through the resolved batch path (scan::ScanEngine): each target
+  /// is resolved once and its per-protocol probes answer from the
+  /// cached record. Streams rows through `sink` when given.
   /// Byte-identical to scan_legacy for any thread count.
+  void scan(const std::vector<ipv6::Address>& targets, int day,
+            const ScanOptions& options, scan::ScanFrame* frame,
+            scan::ResultSink* sink = nullptr);
+
+  /// Adapter form for one-shot callers: same scan, materialized via
+  /// ScanFrame::to_report().
   ScanReport scan(const std::vector<ipv6::Address>& targets, int day,
                   const ScanOptions& options = {});
 
@@ -79,6 +84,8 @@ class Scanner {
   /// target through the universe. Kept callable as the equivalence
   /// baseline for the scan engine (tests/test_scan_engine.cpp) and as
   /// the perf reference bench_fig8_longitudinal times it against.
+  void scan_legacy(const std::vector<ipv6::Address>& targets, int day,
+                   const ScanOptions& options, scan::ScanFrame* frame);
   ScanReport scan_legacy(const std::vector<ipv6::Address>& targets, int day,
                          const ScanOptions& options = {});
 
@@ -87,8 +94,46 @@ class Scanner {
   engine::Engine* engine_;
 };
 
-/// Figure 7: matrix[y][x] = Pr[protocol y responded | protocol x responded].
-std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount>
-conditional_responsiveness(const std::vector<TargetResult>& targets);
+/// Figure 7's streaming cross-protocol tally: feed each admitted
+/// target's response mask (e.g. from ResultSink::on_target) and read
+/// matrix()[y][x] = Pr[protocol y responded | protocol x responded].
+class CrossProtocolTally {
+ public:
+  void add(net::ProtocolMask mask) {
+    if (mask == 0) return;
+    for (std::size_t x = 0; x < net::kProtocolCount; ++x) {
+      if (((mask >> x) & 1u) == 0) continue;
+      ++marginal_[x];
+      for (std::size_t y = 0; y < net::kProtocolCount; ++y) {
+        joint_[y][x] += (mask >> y) & 1u;
+      }
+    }
+  }
+
+  void reset() {
+    joint_ = {};
+    marginal_ = {};
+  }
+
+  std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount>
+  matrix() const {
+    std::array<std::array<double, net::kProtocolCount>, net::kProtocolCount>
+        out{};
+    for (std::size_t y = 0; y < net::kProtocolCount; ++y) {
+      for (std::size_t x = 0; x < net::kProtocolCount; ++x) {
+        out[y][x] = marginal_[x] == 0 ? 0.0
+                                      : static_cast<double>(joint_[y][x]) /
+                                            static_cast<double>(marginal_[x]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, net::kProtocolCount>,
+             net::kProtocolCount>
+      joint_{};
+  std::array<std::uint64_t, net::kProtocolCount> marginal_{};
+};
 
 }  // namespace v6h::probe

@@ -8,7 +8,6 @@ using netsim::ResolvedTarget;
 void ResolvedTargetTable::store_row(std::size_t row, const ResolvedTarget& r) {
   zone_[row] = r.zone;
   slot_[row] = r.slot;
-  addr_hash_[row] = r.addr_hash;
   flags_[row] = r.flags;
   service_mask_[row] = r.service_mask;
   ittl_[row] = r.ittl;
@@ -25,8 +24,11 @@ void ResolvedTargetTable::store_row(std::size_t row, const ResolvedTarget& r) {
 netsim::ResolvedTarget ResolvedTargetTable::row(std::size_t i) const {
   ResolvedTarget r;
   r.zone = zone_[i];
-  r.slot = slot_[i];
-  r.addr_hash = addr_hash_[i];
+  if (flags_[i] & ResolvedTarget::kAliased) {
+    r.addr_hash = alias_hash_[slot_[i]];
+  } else {
+    r.slot = slot_[i];
+  }
   r.flags = flags_[i];
   r.service_mask = service_mask_[i];
   r.ittl = ittl_[i];
@@ -48,7 +50,6 @@ void ResolvedTargetTable::extend(const Address* addrs, std::size_t count,
   const std::size_t total = base + count;
   zone_.resize(total);
   slot_.resize(total);
-  addr_hash_.resize(total);
   flags_.resize(total);
   service_mask_.resize(total);
   ittl_.resize(total);
@@ -60,10 +61,13 @@ void ResolvedTargetTable::extend(const Address* addrs, std::size_t count,
   ts_hz_.resize(total);
   ts_offset_.resize(total);
   epoch_.resize(total);
+  extend_hash_scratch_.resize(count);
 
   auto fill = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      store_row(base + i, sim_->resolve(addrs[i], day));
+      const ResolvedTarget r = sim_->resolve(addrs[i], day);
+      store_row(base + i, r);
+      extend_hash_scratch_[i] = r.addr_hash;
     }
   };
   if (engine != nullptr && engine->parallel()) {
@@ -72,13 +76,19 @@ void ResolvedTargetTable::extend(const Address* addrs, std::size_t count,
     fill(0, count);
   }
 
-  // Rotation bookkeeping stays serial and in row order: aliased rows
-  // never rotate (their zones hand out static addresses), and an
-  // unrouted row has no zone at all.
+  // Serial bookkeeping, in row order. Aliased rows park their address
+  // hash in the side table (the slot column, unused for them, becomes
+  // the side-table index); they never rotate, so the rotation list
+  // only ever collects honest rows, and an unrouted row has no zone
+  // at all.
   const auto& zones = universe_->zones();
   for (std::size_t i = base; i < total; ++i) {
+    if (flags_[i] & ResolvedTarget::kAliased) {
+      slot_[i] = static_cast<std::uint32_t>(alias_hash_.size());
+      alias_hash_.push_back(extend_hash_scratch_[i - base]);
+      continue;
+    }
     if (zone_[i] == ResolvedTarget::kNoZone) continue;
-    if (flags_[i] & ResolvedTarget::kAliased) continue;
     if (zones[zone_[i]].config().lifetime_days > 0) {
       rotating_rows_.push_back(static_cast<std::uint32_t>(i));
     }
@@ -93,6 +103,8 @@ void ResolvedTargetTable::refresh(const Address* addrs, int day,
     for (std::size_t k = begin; k < end; ++k) {
       const std::uint32_t row = rotating_rows_[k];
       if (zones[zone_[row]].epoch(day) == epoch_[row]) continue;
+      // Rotating rows are honest by construction, so the re-resolve
+      // can never need an alias_hash_ append (which would race).
       store_row(row, sim_->resolve(addrs[row], day));
     }
   };

@@ -46,7 +46,7 @@ class ResolvedTargetTable {
     netsim::ResolvedColumns t;
     t.zone = zone_.data();
     t.slot = slot_.data();
-    t.addr_hash = addr_hash_.data();
+    t.alias_hash = alias_hash_.data();
     t.flags = flags_.data();
     t.service_mask = service_mask_.data();
     t.ittl = ittl_.data();
@@ -60,10 +60,15 @@ class ResolvedTargetTable {
     return t;
   }
 
-  /// Reassemble one row as the AoS record (tests, diagnostics).
+  /// Reassemble one row as the AoS record (tests, diagnostics). For
+  /// honest rows addr_hash is reassembled as 0 — only aliased-space
+  /// probing reads it, and honest rows no longer carry the column.
   netsim::ResolvedTarget row(std::size_t i) const;
 
   std::size_t rotating_rows() const { return rotating_rows_.size(); }
+
+  /// Aliased rows currently tracked in the address-hash side table.
+  std::size_t aliased_rows() const { return alias_hash_.size(); }
 
  private:
   void store_row(std::size_t row, const netsim::ResolvedTarget& r);
@@ -71,8 +76,13 @@ class ResolvedTargetTable {
   const netsim::NetworkSim* sim_;
   const netsim::Universe* universe_;
   std::vector<std::uint32_t> zone_;
+  // For honest rows: the inverted host slot. For aliased rows (which
+  // have no slot) the same column indexes the alias_hash_ side table
+  // — the per-address hash only aliased-space probing reads, moved
+  // out of the dense per-row layout so honest rows (the bulk of the
+  // hitlist) stop paying 8 bytes each for it.
   std::vector<std::uint32_t> slot_;
-  std::vector<std::uint64_t> addr_hash_;
+  std::vector<std::uint64_t> alias_hash_;
   std::vector<std::uint8_t> flags_;
   std::vector<std::uint8_t> service_mask_;
   std::vector<std::uint8_t> ittl_;
@@ -87,6 +97,10 @@ class ResolvedTargetTable {
   // Rows living in zones with lifetime_days > 0; the only rows whose
   // cached resolution can go stale.
   std::vector<std::uint32_t> rotating_rows_;
+  // Reusable per-extend scratch for the new rows' address hashes (the
+  // parallel fill writes them here; the serial bookkeeping pass moves
+  // the aliased ones into alias_hash_).
+  std::vector<std::uint64_t> extend_hash_scratch_;
 };
 
 }  // namespace v6h::scan

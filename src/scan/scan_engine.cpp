@@ -7,81 +7,65 @@ using netsim::ResolvedColumns;
 
 namespace {
 
-// Probe one worker chunk of the row list. masks is row-list-aligned;
-// every write lands at the probe's own position, so chunks compose
+// Probe one worker chunk of the admitted-row list. `masks` is the
+// frame's row-indexed mask column; every write scatters to the
+// probe's own row, and admitted rows are unique, so chunks compose
 // deterministically for any thread count.
 void probe_chunk(netsim::NetworkSim& sim, const ResolvedColumns& cols,
                  const std::uint32_t* rows, net::ProtocolMask* masks,
                  std::size_t count, int day, const ProbeSchedule& schedule) {
   auto sweep = [&](net::Protocol protocol, const std::uint32_t* ids,
-                   net::ProtocolMask* out, std::size_t n) {
-    sim.probe_resolved_mask(cols, ids, n, protocol, day, /*seq=*/0, out);
+                   std::size_t n) {
+    sim.probe_resolved_mask(cols, ids, n, protocol, day, /*seq=*/0, masks);
     if (schedule.retries == 0) return;
     // Retry pass: compact the no-answers and re-probe at seq 1, 2, ...
     // — a miss stays a miss for availability, but per-probe loss
-    // re-rolls with seq.
+    // re-rolls with seq. The scatter writes land at the same rows, so
+    // no position remap is needed.
     const net::ProtocolMask bit = net::mask_of(protocol);
     std::vector<std::uint32_t> miss_rows;
-    std::vector<std::uint32_t> miss_at;
     for (unsigned attempt = 1; attempt <= schedule.retries; ++attempt) {
       miss_rows.clear();
-      miss_at.clear();
       for (std::size_t k = 0; k < n; ++k) {
-        if ((out[k] & bit) == 0) {
-          miss_rows.push_back(ids[k]);
-          miss_at.push_back(static_cast<std::uint32_t>(k));
-        }
+        if ((masks[ids[k]] & bit) == 0) miss_rows.push_back(ids[k]);
       }
       if (miss_rows.empty()) return;
-      std::vector<net::ProtocolMask> retry(miss_rows.size(), 0);
       sim.probe_resolved_mask(cols, miss_rows.data(), miss_rows.size(),
-                              protocol, day, attempt, retry.data());
-      for (std::size_t m = 0; m < retry.size(); ++m) {
-        out[miss_at[m]] |= retry[m];
-      }
+                              protocol, day, attempt, masks);
     }
   };
 
   if (schedule.interleave == ProbeSchedule::Interleave::kProtocolMajor) {
     for (const auto protocol : schedule.protocols) {
-      sweep(protocol, rows, masks, count);
+      sweep(protocol, rows, count);
     }
   } else {
     for (std::size_t k = 0; k < count; ++k) {
       for (const auto protocol : schedule.protocols) {
-        sweep(protocol, rows + k, masks + k, 1);
+        sweep(protocol, rows + k, 1);
       }
     }
   }
 }
 
-// Shared scan core: probe `rows` (ids into cols / addrs) and assemble
-// the report in row-list order.
-probe::ScanReport run_scan(netsim::NetworkSim& sim, engine::Engine* engine,
-                           const ResolvedColumns& cols, const Address* addrs,
-                           const std::vector<std::uint32_t>& rows, int day,
-                           const ProbeSchedule& schedule) {
-  probe::ScanReport report;
-  report.day = day;
-  report.targets.resize(rows.size());
-  std::vector<net::ProtocolMask> masks(rows.size(), 0);
+// Shared scan core: probe the frame's admitted rows into its mask
+// column, then run the serial completion pass (tallies + sink).
+void run_scan(netsim::NetworkSim& sim, engine::Engine* engine,
+              const ResolvedColumns& cols, int day,
+              const ProbeSchedule& schedule, ScanFrame* frame,
+              ResultSink* sink) {
+  const auto& rows = frame->rows();
+  net::ProtocolMask* masks = frame->mutable_masks();
   auto run = [&](std::size_t begin, std::size_t end) {
-    probe_chunk(sim, cols, rows.data() + begin, masks.data() + begin,
-                end - begin, day, schedule);
+    probe_chunk(sim, cols, rows.data() + begin, masks, end - begin, day,
+                schedule);
   };
   if (engine != nullptr && engine->parallel()) {
     engine->parallel_for(rows.size(), 256, run);
   } else {
     run(0, rows.size());
   }
-  // One serial pass materializes the targets and the response
-  // tallies; report order is the row-list order for any thread count.
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    report.targets[i].address = addrs[rows[i]];
-    report.targets[i].responded_mask = masks[i];
-  }
-  report.tally();
-  return report;
+  frame->finish(sink);
 }
 
 }  // namespace
@@ -95,31 +79,24 @@ void ScanEngine::sync(const hitlist::TargetStore& store, int day) {
   }
 }
 
-probe::ScanReport ScanEngine::scan_store(const hitlist::TargetStore& store,
-                                         int day,
-                                         const ProbeSchedule& schedule) {
-  std::vector<std::uint32_t> rows;
-  rows.reserve(store.size());
-  for (std::size_t row = 0; row < store.size(); ++row) {
-    if (!store.aliased(row)) rows.push_back(static_cast<std::uint32_t>(row));
-  }
-  rows.resize(schedule.admitted_targets(rows.size()));
-  return run_scan(*sim_, engine_, table_.columns(), store.addresses().data(),
-                  rows, day, schedule);
+void ScanEngine::scan_store(const hitlist::TargetStore& store, int day,
+                            const ProbeSchedule& schedule, ScanFrame* frame,
+                            ResultSink* sink) {
+  const auto& rows = store.unaliased_rows();
+  frame->reset(day, store.addresses().data(), store.size());
+  frame->admit(rows.data(), schedule.admitted_targets(rows.size()));
+  run_scan(*sim_, engine_, table_.columns(), day, schedule, frame, sink);
 }
 
-probe::ScanReport ScanEngine::scan_addresses(const std::vector<Address>& targets,
-                                             int day,
-                                             const ProbeSchedule& schedule) {
+void ScanEngine::scan_addresses(const std::vector<Address>& targets, int day,
+                                const ProbeSchedule& schedule, ScanFrame* frame,
+                                ResultSink* sink) {
   const std::size_t admitted = schedule.admitted_targets(targets.size());
   ResolvedTargetTable table(*sim_);
   table.extend(targets.data(), admitted, day, engine_);
-  std::vector<std::uint32_t> rows(admitted);
-  for (std::size_t i = 0; i < admitted; ++i) {
-    rows[i] = static_cast<std::uint32_t>(i);
-  }
-  return run_scan(*sim_, engine_, table.columns(), targets.data(), rows, day,
-                  schedule);
+  frame->reset(day, targets.data(), targets.size());
+  frame->admit_iota(admitted);
+  run_scan(*sim_, engine_, table.columns(), day, schedule, frame, sink);
 }
 
 unsigned ScanEngine::probe_fanout(const Address* addrs, std::size_t count,

@@ -7,10 +7,13 @@
 // TargetStore rows. Each day it extends the table by the day's new
 // rows (sync), refreshes rotation epochs, and then answers the
 // protocol scan from NetworkSim's batched probe_resolved hot path —
-// no per-probe universe lookups. A ProbeSchedule picks protocols,
-// probe budget, retry policy, and interleave; the default schedule is
-// byte-identical to the legacy Scanner::scan_legacy path for any
-// thread count (tests/test_scan_equivalence.cpp).
+// no per-probe universe lookups. Results land in a caller-owned
+// reusable ScanFrame (zero steady-state allocations; see
+// scan/scan_frame.h) and stream through an optional ResultSink. A
+// ProbeSchedule picks protocols, probe budget, retry policy, and
+// interleave; the default schedule is byte-identical to the legacy
+// Scanner::scan_legacy path for any thread count
+// (tests/test_scan_equivalence.cpp).
 
 #include <cstdint>
 #include <vector>
@@ -20,9 +23,9 @@
 #include "ipv6/address.h"
 #include "net/protocol.h"
 #include "netsim/network_sim.h"
-#include "probe/scanner.h"
 #include "scan/probe_schedule.h"
 #include "scan/resolved_table.h"
+#include "scan/scan_frame.h"
 
 namespace v6h::scan {
 
@@ -37,16 +40,22 @@ class ScanEngine {
   void sync(const hitlist::TargetStore& store, int day);
 
   /// The daily protocol scan: probe every non-aliased row of `store`
-  /// (insertion order) under `schedule`. Requires sync(store, day)
-  /// first. report.targets holds one entry per admitted target.
-  probe::ScanReport scan_store(const hitlist::TargetStore& store, int day,
-                               const ProbeSchedule& schedule = {});
+  /// (read off its incremental unaliased-row index) under `schedule`,
+  /// filling `frame` in place — clear()+refill with capacity
+  /// retained, so a steady-state day allocates nothing. Requires
+  /// sync(store, day) first. Rows stream through `sink` (serial,
+  /// row order) when one is given.
+  void scan_store(const hitlist::TargetStore& store, int day,
+                  const ProbeSchedule& schedule, ScanFrame* frame,
+                  ResultSink* sink = nullptr);
 
   /// Scan an ad-hoc address list through a transient resolution (each
   /// target resolved once, probed protocols.size() x attempts times).
-  /// This is what Scanner::scan routes through.
-  probe::ScanReport scan_addresses(const std::vector<ipv6::Address>& targets,
-                                   int day, const ProbeSchedule& schedule = {});
+  /// Frame rows are input-list positions. This is what Scanner::scan
+  /// routes through.
+  void scan_addresses(const std::vector<ipv6::Address>& targets, int day,
+                      const ProbeSchedule& schedule, ScanFrame* frame,
+                      ResultSink* sink = nullptr);
 
   /// APD fan-out batch: resolve-and-probe addrs[0..count) with
   /// seq = first_seq + i, returning how many responded. Fan-out

@@ -1,0 +1,125 @@
+#pragma once
+
+// Zero-allocation scan results: the daily protocol scan fills a
+// reusable columnar ScanFrame in place instead of materializing a
+// fresh probe::ScanReport per day.
+//
+// A frame holds one per-row ProtocolMask column aligned with the
+// producer's row space (hitlist::TargetStore rows for the daily scan,
+// input-list positions for ad-hoc scans), the admitted-row index the
+// schedule actually probed, and O(1) response tallies computed in one
+// serial pass at scan end. clear()+refill retains capacity, so a
+// steady-state day performs zero heap allocations in the scan path
+// (tests/test_scan_frame.cpp enforces this with a counting
+// allocator). Streaming consumers implement ResultSink instead of
+// walking a materialized copy; the historical probe::ScanReport
+// survives only as the on-demand to_report() adapter.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ipv6/address.h"
+#include "ipv6/prefix.h"
+#include "net/protocol.h"
+#include "probe/scanner.h"
+
+namespace v6h::scan {
+
+class ScanFrame;
+
+/// Streaming consumer of scan results. All callbacks fire on the
+/// calling thread from the serial completion pass of a scan (after
+/// the parallel probe sweep), in admitted-row order — deterministic
+/// for any thread count. on_fanout streams the APD detector's
+/// per-prefix fan-out outcomes the same way (serial, batch order).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// One admitted target's response mask. `row` indexes the producer's
+  /// row space (TargetStore row / input-list position).
+  virtual void on_target(std::uint32_t row, net::ProtocolMask mask) {
+    (void)row;
+    (void)mask;
+  }
+
+  /// One APD fan-out batch entry: how many of the 16 fan-out probes
+  /// of `prefix` answered, and the windowed verdict after today.
+  virtual void on_fanout(const ipv6::Prefix& prefix, unsigned responded,
+                         bool aliased) {
+    (void)prefix;
+    (void)responded;
+    (void)aliased;
+  }
+
+  /// The day's scan finished; `frame` stays valid until the next scan.
+  virtual void on_day_end(const ScanFrame& frame) { (void)frame; }
+};
+
+class ScanFrame {
+ public:
+  // ---- consumer surface -------------------------------------------
+  int day() const { return day_; }
+
+  /// Length of the mask column (the producer's row space).
+  std::size_t row_count() const { return masks_.size(); }
+
+  /// The admitted rows the schedule probed, ascending.
+  const std::vector<std::uint32_t>& rows() const { return rows_; }
+
+  net::ProtocolMask mask_of_row(std::size_t row) const { return masks_[row]; }
+  const net::ProtocolMask* masks() const { return masks_.data(); }
+
+  /// Row-aligned address lookup, borrowed from the producer's address
+  /// array: valid as long as that array (the TargetStore / the scanned
+  /// list) outlives the frame's current fill.
+  const ipv6::Address& address_of_row(std::size_t row) const {
+    return addrs_[row];
+  }
+
+  std::size_t responsive_count(net::Protocol p) const {
+    return static_cast<std::size_t>(responsive_[net::index_of(p)]);
+  }
+  std::size_t responsive_any_count() const {
+    return static_cast<std::size_t>(responsive_any_);
+  }
+
+  /// Materialize the historical probe::ScanReport (one AoS entry per
+  /// admitted row, tallies copied — never re-tallied). This is the
+  /// only remaining producer of ScanReport: appropriate for one-shot
+  /// consumers that genuinely need an owned AoS copy, wrong inside
+  /// the day loop (it re-introduces the per-day allocation churn the
+  /// frame removes).
+  probe::ScanReport to_report() const;
+
+  // ---- producer surface (ScanEngine / the legacy adapters) --------
+  /// Start a new fill: zero `row_count` masks, drop the admitted rows
+  /// and tallies, borrow `addrs` for row-aligned address lookup.
+  /// Capacity is retained, so refilling at steady state allocates
+  /// nothing.
+  void reset(int day, const ipv6::Address* addrs, std::size_t row_count);
+
+  /// Copy the admitted-row index (each must be < row_count()).
+  void admit(const std::uint32_t* rows, std::size_t count);
+
+  /// Admit rows 0..count-1 (ad-hoc list scans).
+  void admit_iota(std::size_t count);
+
+  /// The mutable mask column the probe sweep scatters into.
+  net::ProtocolMask* mutable_masks() { return masks_.data(); }
+
+  /// Serial completion pass: compute the tallies from the admitted
+  /// rows and stream them through `sink` (may be null).
+  void finish(ResultSink* sink);
+
+ private:
+  int day_ = -1;
+  const ipv6::Address* addrs_ = nullptr;
+  std::vector<net::ProtocolMask> masks_;
+  std::vector<std::uint32_t> rows_;
+  std::array<std::uint64_t, net::kProtocolCount> responsive_{};
+  std::uint64_t responsive_any_ = 0;
+};
+
+}  // namespace v6h::scan

@@ -69,12 +69,12 @@ RunResult run_pipeline(std::uint64_t seed, unsigned threads) {
     field(" aliased=", report.aliased_prefixes);
     field(" scanned=", report.scanned_targets);
     for (const auto protocol : net::kAllProtocols) {
-      field(" ", report.scan.responsive_count(protocol));
+      field(" ", report.scan().responsive_count(protocol));
     }
-    for (const auto& target : report.scan.targets) {
+    for (const auto row : report.scan().rows()) {
       fp += "\n  ";
-      fp += target.address.to_string();
-      field("/", target.responded_mask);
+      fp += report.scan().address_of_row(row).to_string();
+      field("/", report.scan().mask_of_row(row));
     }
   }
   fp += "\nhitlist";

@@ -79,22 +79,29 @@ static void run_tests() {
   CHECK_EQ(delta.new_addresses(), day3.new_addresses);
   CHECK_EQ(delta.row_count, store.size());
 
-  // Scan report: non-aliased targets only, masks consistent.
-  CHECK_EQ(day3.scan.targets.size(), day3.scanned_targets);
+  // Scan frame: non-aliased targets only, masks consistent, and the
+  // materialized adapter mirrors the frame byte for byte.
+  const auto& frame = day3.scan();
+  CHECK_EQ(frame.rows().size(), day3.scanned_targets);
+  CHECK_EQ(frame.day(), 270);
+  CHECK_EQ(frame.row_count(), store.size());
   CHECK(day3.scanned_targets < pipeline.targets().size());
   std::size_t responsive = 0;
-  for (const auto& t : day3.scan.targets) {
-    CHECK(!filter.is_aliased(t.address));
-    responsive += t.responded_any();
-    for (const auto p : net::kAllProtocols) {
-      if (t.responded(p)) {
-        CHECK((t.responded_mask & net::mask_of(p)) != 0);
-      }
-    }
+  for (const auto row : frame.rows()) {
+    CHECK(!filter.is_aliased(frame.address_of_row(row)));
+    responsive += frame.mask_of_row(row) != 0;
   }
   CHECK(responsive > 0);
-  CHECK(responsive < day3.scan.targets.size());
-  CHECK_EQ(day3.scan.responsive_any_count(), responsive);
+  CHECK(responsive < frame.rows().size());
+  CHECK_EQ(frame.responsive_any_count(), responsive);
+  const auto materialized = frame.to_report();
+  CHECK_EQ(materialized.targets.size(), frame.rows().size());
+  CHECK_EQ(materialized.responsive_any_count(), responsive);
+  for (std::size_t k = 0; k < materialized.targets.size(); ++k) {
+    const auto row = frame.rows()[k];
+    CHECK(materialized.targets[k].address == frame.address_of_row(row));
+    CHECK_EQ(materialized.targets[k].responded_mask, frame.mask_of_row(row));
+  }
 
   // Distribution summaries are consistent with the hitlist.
   const auto summary =
@@ -115,8 +122,8 @@ static void run_tests() {
   CHECK_EQ(day3_again.aliased_prefixes, day3.aliased_prefixes);
   CHECK_EQ(day3_again.scanned_targets, day3.scanned_targets);
   CHECK(pipeline2.targets() == pipeline.targets());
-  CHECK_EQ(day3_again.scan.responsive_any_count(),
-           day3.scan.responsive_any_count());
+  CHECK_EQ(day3_again.scan().responsive_any_count(),
+           day3.scan().responsive_any_count());
 
   // The sources the pipeline drives are reachable and populated.
   auto& sources = pipeline.source_simulator();

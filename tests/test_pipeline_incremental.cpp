@@ -67,16 +67,16 @@ RunResult run_pipeline(std::uint64_t seed, unsigned threads, bool rebuild) {
     field(" aliased=", report.aliased_prefixes);
     field(" scanned=", report.scanned_targets);
     for (const auto protocol : net::kAllProtocols) {
-      field(" ", report.scan.responsive_count(protocol));
+      field(" ", report.scan().responsive_count(protocol));
     }
     for (const auto& prefix : pipeline.filter().prefixes()) {
       fp += "\n  alias ";
       fp += prefix.to_string();
     }
-    for (const auto& target : report.scan.targets) {
+    for (const auto row : report.scan().rows()) {
       fp += "\n  ";
-      fp += target.address.to_string();
-      field("/", target.responded_mask);
+      fp += report.scan().address_of_row(row).to_string();
+      field("/", report.scan().mask_of_row(row));
     }
     // The delta must account for the aliased-set transition exactly.
     const auto& delta = pipeline.last_delta();

@@ -83,6 +83,9 @@ void run_probe_equivalence() {
     table.extend(targets.data(), targets.size(), day);
     rotating_seen += table.rotating_rows();
     const auto cols = table.columns();
+    // The mask sweep scatters by row id, so the output buffer is
+    // row-indexed like a ScanFrame's mask column.
+    std::vector<net::ProtocolMask> masks(targets.size(), 0);
     for (std::size_t i = 0; i < targets.size(); ++i) {
       const std::uint32_t row = static_cast<std::uint32_t>(i);
       for (const auto protocol : net::kAllProtocols) {
@@ -92,11 +95,12 @@ void run_probe_equivalence() {
               sim.probe_resolved(sim.resolve(targets[i], day), protocol, day, seq);
           netsim::ProbeResult soa;
           sim.probe_resolved(cols, &row, 1, protocol, day, seq, &soa);
-          net::ProtocolMask mask = 0;
-          sim.probe_resolved_mask(cols, &row, 1, protocol, day, seq, &mask);
+          masks[row] = 0;
+          sim.probe_resolved_mask(cols, &row, 1, protocol, day, seq,
+                                  masks.data());
           mismatches += !same_result(legacy, aos);
           mismatches += !same_result(legacy, soa);
-          mismatches += (mask != 0) != legacy.responded;
+          mismatches += (masks[row] != 0) != legacy.responded;
         }
       }
     }
@@ -187,26 +191,35 @@ void run_schedule_scenarios() {
     scan::ScanEngine engine(sim);
     scan::ProbeSchedule schedule;
     schedule.daily_probe_budget = 40 * schedule.probes_per_target() + 3;
-    const auto report = engine.scan_addresses(targets, day, schedule);
-    CHECK_EQ(report.targets.size(), 40u);
+    scan::ScanFrame frame;
+    engine.scan_addresses(targets, day, schedule, &frame);
+    CHECK_EQ(frame.rows().size(), 40u);
+    CHECK_EQ(frame.row_count(), targets.size());
+    CHECK_EQ(frame.to_report().targets.size(), 40u);
     CHECK(sim.probes_sent() <= schedule.daily_probe_budget);
     CHECK_EQ(schedule.admitted_targets(10), 10u);
     scan::ProbeSchedule unlimited;
     CHECK_EQ(unlimited.admitted_targets(123), 123u);
   }
 
-  // Retries can only add responders, and both interleaves agree.
+  // Retries can only add responders, and both interleaves agree. The
+  // same frame is refilled across the three scans (the reuse the day
+  // loop depends on).
   {
     netsim::NetworkSim sim(universe);
     scan::ScanEngine engine(sim);
     scan::ProbeSchedule plain;
-    const auto base = engine.scan_addresses(targets, day, plain);
+    scan::ScanFrame frame;
+    engine.scan_addresses(targets, day, plain, &frame);
+    const auto base = frame.to_report();
     scan::ProbeSchedule retrying;
     retrying.retries = 2;
-    const auto retried = engine.scan_addresses(targets, day, retrying);
+    engine.scan_addresses(targets, day, retrying, &frame);
+    const auto retried = frame.to_report();
     scan::ProbeSchedule target_major = retrying;
     target_major.interleave = scan::ProbeSchedule::Interleave::kTargetMajor;
-    const auto by_target = engine.scan_addresses(targets, day, target_major);
+    engine.scan_addresses(targets, day, target_major, &frame);
+    const auto by_target = frame.to_report();
     CHECK(retried.responsive_any_count() >= base.responsive_any_count());
     std::size_t lost = 0;
     std::size_t interleave_diff = 0;

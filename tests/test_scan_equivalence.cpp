@@ -1,10 +1,18 @@
-// The scan-engine pipeline contract (ISSUE 4): for seeds {1,2,3} x
-// threads {1,4,8} x 10 days, the pipeline routed through the resolved
-// scan engine (persistent per-row resolution cache, batched probing,
-// engine-routed APD fan-out) must produce DayReport sequences
-// byte-identical to the legacy per-probe path, and identical probe
-// counts. Days start mid-campaign so the sweep crosses rotation
-// epochs (ISP privacy addressing) while cached rows age.
+// The scan-engine pipeline contract (ISSUE 4, extended by ISSUE 5):
+// for seeds {1,2,3} x threads {1,4,8} x 10 days, the pipeline routed
+// through the resolved scan engine (persistent per-row resolution
+// cache, batched probing, engine-routed APD fan-out) must produce
+// DayReport sequences byte-identical to the legacy per-probe path,
+// and identical probe counts. Days start mid-campaign so the sweep
+// crosses rotation epochs (ISP privacy addressing) while cached rows
+// age.
+//
+// Since ISSUE 5 the day's results live in the reusable ScanFrame; the
+// fingerprint is built from the frame-derived ScanFrame::to_report()
+// adapter, so byte-equality across the legacy and resolved paths is
+// exactly the "to_report() equals the legacy ScanReport" contract.
+// Each day also cross-checks the adapter against the frame columns
+// and against the rows a ResultSink streamed.
 //
 // Accepts `--threads N` (repeatable) for extra thread counts.
 
@@ -31,6 +39,18 @@ struct RunResult {
   std::uint64_t probes = 0;
 };
 
+// Streaming witness: records what on_target delivered so the frame,
+// the adapter report, and the sink stream can be checked against each
+// other.
+struct RecordingSink final : scan::ResultSink {
+  std::vector<std::pair<std::uint32_t, net::ProtocolMask>> rows;
+  std::size_t day_ends = 0;
+  void on_target(std::uint32_t row, net::ProtocolMask mask) override {
+    rows.emplace_back(row, mask);
+  }
+  void on_day_end(const scan::ScanFrame&) override { ++day_ends; }
+};
+
 RunResult run_pipeline(std::uint64_t seed, unsigned threads, bool legacy_scan) {
   engine::EngineOptions engine_options;
   engine_options.threads = threads;
@@ -54,18 +74,37 @@ RunResult run_pipeline(std::uint64_t seed, unsigned threads, bool legacy_scan) {
     fp += std::to_string(value);
   };
   for (int day = kFirstDay; day < kFirstDay + kDays; ++day) {
-    const auto report = pipeline.run_day(day);
+    RecordingSink sink;
+    const auto report = pipeline.run_day(day, &sink);
     field("\nday ", static_cast<std::uint64_t>(day));
     field(" new=", report.new_addresses);
     field(" aliased=", report.aliased_prefixes);
     field(" scanned=", report.scanned_targets);
+    // Fingerprint through the materialized adapter: byte-equality of
+    // this sequence across the legacy and resolved paths is the
+    // to_report() contract.
+    const probe::ScanReport materialized = report.scan().to_report();
     for (const auto protocol : net::kAllProtocols) {
-      field(" ", report.scan.responsive_count(protocol));
+      field(" ", materialized.responsive_count(protocol));
     }
-    for (const auto& target : report.scan.targets) {
+    for (const auto& target : materialized.targets) {
       fp += "\n  ";
       fp += target.address.to_string();
       field("/", target.responded_mask);
+    }
+    // Adapter <-> frame <-> sink consistency for the same day.
+    const auto& frame = report.scan();
+    CHECK_EQ(materialized.targets.size(), frame.rows().size());
+    CHECK_EQ(materialized.responsive_any_count(),
+             frame.responsive_any_count());
+    CHECK_EQ(sink.rows.size(), frame.rows().size());
+    CHECK_EQ(sink.day_ends, 1u);
+    for (std::size_t k = 0; k < frame.rows().size(); ++k) {
+      const std::uint32_t row = frame.rows()[k];
+      CHECK(sink.rows[k].first == row);
+      CHECK_EQ(sink.rows[k].second, frame.mask_of_row(row));
+      CHECK(materialized.targets[k].address == frame.address_of_row(row));
+      CHECK_EQ(materialized.targets[k].responded_mask, frame.mask_of_row(row));
     }
   }
   // The engine path must actually have cached rotating rows, or the

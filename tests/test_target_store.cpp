@@ -2,7 +2,10 @@
 // dedup contract, rows_within against a brute-force filter across
 // prefix lengths (including /0 and /128), the batched
 // rows_within_many dedup/ordering semantics, and the run-merge
-// machinery across many spill boundaries.
+// machinery across many spill boundaries. Plus (ISSUE 5 satellite)
+// the incrementally-maintained unaliased-row index against a
+// brute-force flags walk across interleaved insert batches and
+// verdict-flip days.
 
 #include <algorithm>
 #include <vector>
@@ -19,7 +22,7 @@ using ipv6::Prefix;
 
 namespace {
 
-void run_tests() {
+void run_sorted_run_tests() {
   util::Rng rng(99);
   hitlist::TargetStore store;
   std::vector<Address> inserted;
@@ -109,6 +112,72 @@ void run_tests() {
   for (std::size_t row = 0; row < store.size(); ++row) {
     CHECK(store.address(row) == inserted[row]);
   }
+}
+
+// The incremental unaliased-row index must match a brute-force walk
+// of the flags column after any interleaving of appended rows and
+// verdict flips — including rows flipping back within one batch, a
+// day with no flips at all, and reads between every mutation batch.
+void run_unaliased_index_tests() {
+  util::Rng rng(7);
+  hitlist::TargetStore store;
+
+  auto brute_force = [&] {
+    std::vector<std::uint32_t> rows;
+    for (std::size_t row = 0; row < store.size(); ++row) {
+      if (!store.aliased(row)) rows.push_back(static_cast<std::uint32_t>(row));
+    }
+    return rows;
+  };
+
+  CHECK(store.unaliased_rows().empty());  // empty store, empty index
+
+  std::size_t flip_days = 0;
+  for (int day = 0; day < 40; ++day) {
+    // Growth: a delta of new rows (possibly zero — steady-state days).
+    const std::size_t grow = day % 7 == 3 ? 0 : rng.uniform(120);
+    for (std::size_t i = 0; i < grow; ++i) {
+      store.insert(Address::from_u64(rng.next_u64(), rng.next_u64()), day);
+    }
+    // New rows may be flagged before the index ever saw them (the
+    // pipeline filters the day's new rows first).
+    for (std::size_t row = store.size() - grow; row < store.size(); ++row) {
+      if (rng.uniform_real() < 0.25) store.set_aliased(row, true);
+    }
+    // Flip days: batches of verdict transitions over old rows, with
+    // deliberate no-op re-assignments and double flips (back to the
+    // original value) mixed in.
+    if (day % 3 == 0 && store.size() > 0) {
+      ++flip_days;
+      for (int f = 0; f < 64; ++f) {
+        const std::size_t row = rng.uniform(store.size());
+        const bool value = rng.uniform_real() < 0.5;
+        store.set_aliased(row, value);
+        if (rng.uniform_real() < 0.3) store.set_aliased(row, !value);
+        if (rng.uniform_real() < 0.3) store.set_aliased(row, value);
+      }
+    }
+    const auto& rows = store.unaliased_rows();
+    CHECK(rows == brute_force());
+    // Repeated reads with no interleaved mutation are stable.
+    CHECK(store.unaliased_rows() == brute_force());
+  }
+  CHECK(flip_days > 0);
+  CHECK(!store.unaliased_rows().empty());
+
+  // unaliased_addresses materializes exactly the indexed rows.
+  std::vector<Address> addrs;
+  store.unaliased_addresses(&addrs);
+  const auto& rows = store.unaliased_rows();
+  CHECK_EQ(addrs.size(), rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    CHECK(addrs[k] == store.address(rows[k]));
+  }
+}
+
+void run_tests() {
+  run_sorted_run_tests();
+  run_unaliased_index_tests();
 }
 
 }  // namespace
