@@ -71,6 +71,9 @@ std::vector<Prefix> CandidateCounter::add_addresses(const Address* addrs,
     }
   };
   if (engine_ != nullptr && engine_->parallel()) {
+    // Grain 1 = a task never splits a shard, so each worker owns its
+    // `local[s]` maps exclusively until the return barrier hands them
+    // to the serial merge (the CandidateCounter thread discipline).
     engine_->parallel_for(engine::kShardCount, 1, count_shards);
   } else {
     count_shards(0, engine::kShardCount);

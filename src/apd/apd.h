@@ -94,6 +94,12 @@ class SlidingVerdict {
 /// workers followed by a serial merge in shard order, so the
 /// candidate set — and therefore every downstream probe — is
 /// byte-identical for any thread count and to the full recount.
+///
+/// Thread discipline: the persistent `counts_` map is only touched
+/// by the coordinator's serial merge; workers count into per-shard
+/// scratch maps they own exclusively (one shard bucket per task),
+/// with the pool barrier ordering the hand-off — so no field here
+/// needs a lock, and none is safe to race from outside add_addresses.
 class CandidateCounter {
  public:
   CandidateCounter(const netsim::BgpTable& bgp, std::size_t min_targets,

@@ -22,7 +22,9 @@ void Engine::parallel_for(
     return;
   }
   // ~8 stealable chunks per worker bounds scheduling overhead on one
-  // side and tail imbalance (one giant shard) on the other.
+  // side and tail imbalance (one giant shard) on the other. The
+  // by-reference capture of `fn` is safe because ThreadPool::run is a
+  // full barrier: no worker touches the task after run returns.
   const std::size_t max_chunks = static_cast<std::size_t>(threads_) * 8;
   const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
   const std::size_t chunks = (n + chunk - 1) / chunk;

@@ -33,6 +33,13 @@ class Engine {
   /// fn(begin, end) over disjoint chunks covering [0, n). Chunks land
   /// on all workers via work-stealing; with one thread (or n <= grain)
   /// this is a single inline fn(0, n) call.
+  ///
+  /// Synchronization contract: fn runs concurrently on pool workers
+  /// and must confine its writes to chunk-disjoint, index-addressed
+  /// outputs (or atomics with a documented ordering). The return of
+  /// parallel_for is a full barrier — every fn write is visible to
+  /// the caller afterwards (ThreadPool::remaining_ acq/rel) — so
+  /// callers need no locks to read the results serially.
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

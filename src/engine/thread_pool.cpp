@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -28,7 +28,7 @@ bool ThreadPool::run_one(unsigned self) {
   bool found = false;
   {
     Queue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    util::MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       index = own.tasks.front();
       own.tasks.pop_front();
@@ -37,7 +37,7 @@ bool ThreadPool::run_one(unsigned self) {
   }
   for (std::size_t offset = 1; !found && offset < queues_.size(); ++offset) {
     Queue& victim = *queues_[(self + offset) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    util::MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       index = victim.tasks.back();  // steal from the cold end
       victim.tasks.pop_back();
@@ -45,9 +45,16 @@ bool ThreadPool::run_one(unsigned self) {
     }
   }
   if (!found) return false;
-  (*task_)(index);
+  // Any thread holding an index owns one dereference of task_: the
+  // acquire pairs with run()'s release store, and run() cannot null
+  // the pointer before remaining_ (decremented below, after the call)
+  // reaches zero.
+  const auto* task = task_.load(std::memory_order_acquire);
+  (*task)(index);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Last task: take mu_ so the notify cannot slip between the run()
+    // caller's predicate test and its wait.
+    util::MutexLock lock(mu_);
     done_.notify_all();
   }
   return true;
@@ -57,8 +64,8 @@ void ThreadPool::worker_loop(unsigned self) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      util::MutexLock lock(mu_);
+      while (!stop_ && epoch_ == seen) wake_.wait(mu_);
       if (stop_) return;
       seen = epoch_;
     }
@@ -77,27 +84,28 @@ void ThreadPool::run(std::size_t count,
   inside_run_ = true;
   // task_ and remaining_ are published before any index is enqueued: a
   // late worker still draining the previous epoch may legally steal
-  // the new tasks, and must observe both through the queue mutex.
-  task_ = &task;
+  // the new tasks, and must observe both the moment it pops an index.
+  task_.store(&task, std::memory_order_release);
   remaining_.store(count, std::memory_order_release);
   for (std::size_t i = 0; i < count; ++i) {
     Queue& queue = *queues_[i % queues_.size()];
-    std::lock_guard<std::mutex> lock(queue.mu);
+    util::MutexLock lock(queue.mu);
     queue.tasks.push_back(i);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++epoch_;
   }
   wake_.notify_all();
   while (run_one(0)) {
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock,
-               [&] { return remaining_.load(std::memory_order_acquire) == 0; });
+    util::MutexLock lock(mu_);
+    while (remaining_.load(std::memory_order_acquire) != 0) done_.wait(mu_);
   }
-  task_ = nullptr;
+  // All dereferences of task_ happened-before the acquire load above
+  // observed zero, so the reference can be safely retired.
+  task_.store(nullptr, std::memory_order_relaxed);
   inside_run_ = false;
 }
 

@@ -8,17 +8,22 @@
 // run() is driven from one thread at a time (the pipeline's main
 // thread); a nested run() call degrades to inline execution on the
 // caller instead of deadlocking.
+//
+// Locking discipline (checked by -Wthread-safety under Clang):
+// per-queue state is guarded by that queue's mutex, the epoch/stop
+// wake protocol by mu_. The two cross-thread fields that are not
+// mutex-guarded are atomics whose orderings are documented inline.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace v6h::engine {
 
@@ -37,22 +42,34 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::size_t> tasks;
+    util::Mutex mu;
+    std::deque<std::size_t> tasks V6H_GUARDED_BY(mu);
   };
 
   bool run_one(unsigned self);
   void worker_loop(unsigned self);
 
   std::vector<std::unique_ptr<Queue>> queues_;
-  const std::function<void(std::size_t)>* task_ = nullptr;
+  // The current run()'s task, published with release before any index
+  // is enqueued and read with acquire by whichever thread pops an
+  // index. The acquire/release pair makes the publication explicit
+  // instead of leaning on the queue mutexes' release sequence (a late
+  // worker still draining the previous epoch may legally steal new
+  // tasks without ever touching mu_). Reset to nullptr only after
+  // remaining_ has been observed at zero, i.e. after every dereference
+  // has completed.
+  std::atomic<const std::function<void(std::size_t)>*> task_{nullptr};
+  // Tasks not yet finished in the current run(). fetch_sub(acq_rel)
+  // after each task body makes every task's writes visible to the
+  // run() caller, whose predicate re-load under mu_ uses acquire: the
+  // caller may resume only after it can see all worker output.
   std::atomic<std::size_t> remaining_{0};
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  std::uint64_t epoch_ = 0;  // guarded by mu_
-  bool stop_ = false;        // guarded by mu_
-  bool inside_run_ = false;  // caller-thread only
+  util::Mutex mu_;
+  util::CondVar wake_;
+  util::CondVar done_;
+  std::uint64_t epoch_ V6H_GUARDED_BY(mu_) = 0;
+  bool stop_ V6H_GUARDED_BY(mu_) = false;
+  bool inside_run_ = false;  // caller-thread only, never shared
   std::vector<std::thread> workers_;
 };
 

@@ -59,6 +59,10 @@ void AliasFilter::is_aliased_many(const Address* in, std::size_t count,
                                   engine::Engine* engine) const {
   aliased->assign(count, 0);
   if (!any_) return;
+  // Worker discipline: the per-shard tries are read-only here (insert
+  // and erase are coordinator-only, between scan phases), and each
+  // worker writes only its own index range of `aliased`; the
+  // parallel_for return barrier publishes the column to the caller.
   auto run = [&](std::size_t begin, std::size_t end) {
     constexpr std::size_t kBatch = 128;
     const bool* hits[kBatch];

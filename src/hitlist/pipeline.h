@@ -70,6 +70,12 @@ struct PipelineOptions {
 /// so batched filtering can run shard-local on the engine workers.
 /// Mutable in place: the pipeline applies each day's verdict
 /// transitions as insert/remove instead of rebuilding the tries.
+///
+/// Thread discipline: insert/remove run only on the coordinator
+/// thread between parallel phases; during is_aliased_many the tries
+/// are read-only and each worker walks its own shard's trie, so the
+/// only shared write is the caller-provided output column, which is
+/// index-addressed and disjoint per chunk.
 class AliasFilter {
  public:
   AliasFilter() = default;

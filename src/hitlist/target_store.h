@@ -110,7 +110,12 @@ class TargetStore {
   // Incremental unaliased-row index. `unaliased_rows_` covers rows
   // [0, indexed_rows_); `pending_flips_` holds indexed rows whose
   // flag changed since the last flush. Mutable: the flush is a cache
-  // fill behind a logically-const read.
+  // fill behind a logically-const read — which makes even const
+  // methods WRITE these fields. The store is therefore
+  // thread-compatible, not thread-safe: the day loop's coordinator
+  // thread owns all calls, and engine workers only ever see columns
+  // handed to them by value/pointer between mutations (no const
+  // method of this class is safe to race with any other call).
   mutable std::vector<std::uint32_t> unaliased_rows_;
   mutable std::vector<std::uint32_t> unaliased_scratch_;
   mutable std::vector<std::uint32_t> pending_flips_;

@@ -197,6 +197,8 @@ ProbeResult NetworkSim::probe(const Address& a, net::Protocol protocol, int day,
   // historical cost profile the resolved path is benchmarked
   // against). The predicates and the image generator are shared with
   // resolve()/probe_resolved, so the two paths cannot drift apart.
+  // All probes_sent_ updates are relaxed: pure count, no data
+  // published through it (invariant at the declaration).
   probes_sent_.fetch_add(1, std::memory_order_relaxed);
   ProbeResult out;
   const Zone* zone = universe_->zone_at(a);

@@ -115,7 +115,8 @@ class NetworkSim {
   /// One probe of `a` with `protocol` at (day, seq). Deterministic in
   /// all arguments plus the universe params, and safe to call from
   /// engine workers concurrently: the response is a pure function and
-  /// the sent counter below is the only mutable state.
+  /// the sent counter below is the only mutable state (relaxed adds;
+  /// see the invariant comment at probes_sent_).
   ProbeResult probe(const ipv6::Address& a, net::Protocol protocol, int day,
                     unsigned seq = 0);
 
@@ -155,10 +156,19 @@ class NetworkSim {
   const std::vector<ZoneProbeParams>& zone_params() const { return zone_params_; }
 
  private:
+  // Shared read-only with engine workers: both fields are fully
+  // built in the constructor and never written again, so concurrent
+  // probe calls need no synchronization to read them.
   const Universe* universe_;
   std::vector<ZoneProbeParams> zone_params_;
-  // Relaxed atomic: a pure count, so the total is schedule-independent
-  // and stays byte-identical across thread counts.
+  // Relaxed ordering is sufficient by invariant: this counter is the
+  // sim's ONLY mutable state, no other memory is published through
+  // it, and nothing branches on intermediate values — every reader
+  // (probes_sent()) runs after the pool's run() barrier, whose
+  // acquire/release on ThreadPool::remaining_ already orders the
+  // adds. Atomicity alone keeps the total exact; the schedule-
+  // independent sum is what keeps output byte-identical across
+  // thread counts.
   std::atomic<std::uint64_t> probes_sent_{0};
 };
 

@@ -57,6 +57,10 @@ struct ScanReport {
   }
 };
 
+// Thread discipline: a Scanner holds no mutable state of its own —
+// workers share it freely during a scan because NetworkSim's probe
+// paths are pure in (address, protocol, day, seq) except for the
+// relaxed probes_sent_ counter (see network_sim.h for its invariant).
 class Scanner {
  public:
   explicit Scanner(netsim::NetworkSim& sim, engine::Engine* engine = nullptr)

@@ -63,6 +63,11 @@ void ResolvedTargetTable::extend(const Address* addrs, std::size_t count,
   epoch_.resize(total);
   extend_hash_scratch_.resize(count);
 
+  // Worker discipline (see the class comment in resolved_table.h):
+  // resolve() is a pure function of (address, day), each worker
+  // stores disjoint rows [base + begin, base + end), and the
+  // parallel_for return barrier publishes the columns before the
+  // serial bookkeeping below reads them.
   auto fill = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       const ResolvedTarget r = sim_->resolve(addrs[i], day);

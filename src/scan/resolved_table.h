@@ -18,6 +18,14 @@
 
 namespace v6h::scan {
 
+// Thread discipline: the table is phase-disciplined, not locked. The
+// coordinator thread alone calls extend()/refresh(); inside those, an
+// attached engine fans the pure per-row resolution out to workers
+// that write disjoint, index-addressed rows, and the pool's run()
+// barrier is the release point. Between mutations any number of
+// threads may read columns() concurrently. Clang's capability
+// analysis has nothing to check here — there is no mutex — so the
+// contract is enforced by the TSan matrix job instead.
 class ResolvedTargetTable {
  public:
   explicit ResolvedTargetTable(const netsim::NetworkSim& sim)

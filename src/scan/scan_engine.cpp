@@ -48,22 +48,42 @@ void probe_chunk(netsim::NetworkSim& sim, const ResolvedColumns& cols,
   }
 }
 
+// Engine dispatch, out of line on purpose: handing the chunk lambda
+// to Engine::parallel_for constructs a std::function, whose capture
+// spill is the one remaining allocation of the parallel scan path
+// (ROADMAP item 1 tracks removing it with per-shard scratch). Keeping
+// the dispatch in its own function gives tools/noalloc_lint.py a
+// named node to allowlist, so the serial steady-state graph below it
+// stays provably allocation-free.
+[[gnu::noinline]] void run_scan_parallel(netsim::NetworkSim& sim,
+                                         engine::Engine& engine,
+                                         const ResolvedColumns& cols,
+                                         const std::uint32_t* rows,
+                                         std::size_t count,
+                                         net::ProtocolMask* masks, int day,
+                                         const ProbeSchedule& schedule) {
+  engine.parallel_for(count, 256, [&](std::size_t begin, std::size_t end) {
+    probe_chunk(sim, cols, rows + begin, masks, end - begin, day, schedule);
+  });
+}
+
 // Shared scan core: probe the frame's admitted rows into its mask
 // column, then run the serial completion pass (tallies + sink).
+// Workers share `masks` without a lock; every probe scatters to its
+// own row and admitted rows are unique, so writes are disjoint and
+// the pool's run() barrier is the release point the serial finish
+// pass reads behind.
 void run_scan(netsim::NetworkSim& sim, engine::Engine* engine,
               const ResolvedColumns& cols, int day,
               const ProbeSchedule& schedule, ScanFrame* frame,
               ResultSink* sink) {
   const auto& rows = frame->rows();
   net::ProtocolMask* masks = frame->mutable_masks();
-  auto run = [&](std::size_t begin, std::size_t end) {
-    probe_chunk(sim, cols, rows.data() + begin, masks, end - begin, day,
-                schedule);
-  };
   if (engine != nullptr && engine->parallel()) {
-    engine->parallel_for(rows.size(), 256, run);
+    run_scan_parallel(sim, *engine, cols, rows.data(), rows.size(), masks, day,
+                      schedule);
   } else {
-    run(0, rows.size());
+    probe_chunk(sim, cols, rows.data(), masks, rows.size(), day, schedule);
   }
   frame->finish(sink);
 }

@@ -106,7 +106,11 @@ class ScanFrame {
   /// Admit rows 0..count-1 (ad-hoc list scans).
   void admit_iota(std::size_t count);
 
-  /// The mutable mask column the probe sweep scatters into.
+  /// The mutable mask column the probe sweep scatters into. Shared
+  /// with engine workers without a lock: each probe ORs into its own
+  /// row, admitted rows are unique, so concurrent writes are disjoint
+  /// by construction, and the pool barrier orders them before the
+  /// serial finish() pass reads the column.
   net::ProtocolMask* mutable_masks() { return masks_.data(); }
 
   /// Serial completion pass: compute the tallies from the admitted

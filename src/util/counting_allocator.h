@@ -26,6 +26,15 @@ inline std::uint64_t allocation_count() {
 
 }  // namespace v6h::util
 
+// GCC pairs `delete` expressions in the including TU against these
+// replacements and warns that std::free does not match the (assumed
+// default) operator new — a false positive once new/new[] are
+// malloc-backed too, which is exactly the replacement contract.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t size) {
   v6h::util::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -40,3 +49,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
