@@ -5,18 +5,29 @@
 // prefix); a prefix where all 16 pseudo-random addresses answer is
 // aliased. Daily verdicts are smoothed with a sliding window
 // (Table 4) to suppress rate-limiting flicker.
+//
+// Steady-state allocation discipline: the persistent per-prefix state
+// lives in flat open-addressing tables (util::FlatMap) instead of
+// node containers, the sliding window is a fixed bit-ring instead of
+// a deque, and every per-day transient (outcomes, shard partitions,
+// crossing lists) is a reusable scratch member. A warm APD day — new
+// prefixes included, once table capacity has warmed up — therefore
+// performs zero heap allocations, which tests/test_day_alloc.cpp and
+// the extended tools/noalloc_lint.py roots both enforce.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/shard.h"
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
 #include "net/protocol.h"
 #include "netsim/network_sim.h"
+#include "util/flat_hash.h"
 
 namespace v6h::scan {
 class ResultSink;
@@ -46,29 +57,51 @@ struct DayOutcome {
   // prefix appears here if and only if its filter membership changes.
   std::vector<ipv6::Prefix> became_aliased;
   std::vector<ipv6::Prefix> became_clean;
+
+  void clear() {
+    aliased.clear();
+    probes = 0;
+    became_aliased.clear();
+    became_clean.clear();
+  }
 };
 
 /// Table-4 sliding-window smoother for one prefix: the windowed
 /// verdict is "aliased" while any of the last window_days + 1 raw
 /// outcomes was aliased, so a single rate-limited day cannot flip it,
 /// and a prefix ages out after window_days + 1 quiet days.
+///
+/// The window is a fixed-size bit-ring — one inline word for windows
+/// up to 64 days (every pipeline configuration), a bitset vector
+/// sized once at construction beyond that (Table 4's campaign-length
+/// sweeps) — so update() never allocates; the deque it replaced
+/// allocated its map block at construction even for an empty history,
+/// which was the day loop's dominant heap churn (two allocations per
+/// candidate prefix per day, ~10k/day at bench scale).
 class SlidingVerdict {
  public:
   explicit SlidingVerdict(unsigned window_days = 0)
-      : window_days_(window_days) {}
+      : window_(static_cast<std::uint32_t>(window_days) + 1) {
+    if (window_ > 64) overflow_.assign((window_ + 63) / 64, 0);
+  }
 
   /// Feed today's raw outcome; returns true when the windowed verdict
   /// flipped relative to the previous day. O(1): the verdict is
-  /// "positives in window > 0", tracked by a counter instead of
-  /// re-scanning the deque, so long windows (Table 4 explores up to
-  /// the full campaign) cost the same as short ones.
+  /// "positives in window > 0", tracked by a counter, and the ring
+  /// cursor replaces push/pop, so long windows (Table 4 explores up
+  /// to the full campaign) cost the same as short ones.
   bool update(bool aliased_today) {
-    history_.push_back(aliased_today);
-    positives_ += aliased_today;
-    while (history_.size() > window_days_ + 1) {
-      positives_ -= history_.front();
-      history_.pop_front();
+    std::uint64_t* words = overflow_.empty() ? &bits_ : overflow_.data();
+    const std::uint64_t mask = std::uint64_t{1} << (cursor_ & 63);
+    std::uint64_t& word = words[cursor_ >> 6];
+    if (count_ == window_) {
+      positives_ -= (word & mask) != 0;  // evict the aged-out day
+    } else {
+      ++count_;
     }
+    word = aliased_today ? (word | mask) : (word & ~mask);
+    positives_ += aliased_today;
+    cursor_ = cursor_ + 1 == window_ ? 0 : cursor_ + 1;
     const bool verdict = positives_ > 0;
     const bool flipped = has_verdict_ && verdict != verdict_;
     verdict_ = verdict;
@@ -80,9 +113,12 @@ class SlidingVerdict {
   bool has_verdict() const { return has_verdict_; }
 
  private:
-  std::deque<bool> history_;
-  unsigned window_days_ = 0;
-  unsigned positives_ = 0;
+  std::uint64_t bits_ = 0;               // the ring, windows <= 64
+  std::vector<std::uint64_t> overflow_;  // the ring, windows > 64
+  std::uint32_t window_ = 1;             // ring size = window_days + 1
+  std::uint32_t cursor_ = 0;             // next write position
+  std::uint32_t count_ = 0;              // filled slots, saturates
+  std::uint32_t positives_ = 0;
   bool verdict_ = false;
   bool has_verdict_ = false;
 };
@@ -105,12 +141,18 @@ class CandidateCounter {
   CandidateCounter(const netsim::BgpTable& bgp, std::size_t min_targets,
                    engine::Engine* engine = nullptr);
 
+  /// Pre-size the counters for a universe whose cumulative hitlist
+  /// will hold at most `max_addresses` unique addresses, so counting
+  /// never grows a table mid-campaign (day-loop zero-alloc contract).
+  void reserve_for(std::size_t max_addresses);
+
   /// Count `count` new (already deduplicated) addresses into the
   /// persistent per-prefix counters; returns the prefixes whose count
   /// crossed min_targets on this call, sorted. The sorted candidate
-  /// list below absorbs them immediately.
-  std::vector<ipv6::Prefix> add_addresses(const ipv6::Address* addrs,
-                                          std::size_t count);
+  /// list below absorbs them immediately. The returned reference is a
+  /// reused scratch member, valid until the next call.
+  const std::vector<ipv6::Prefix>& add_addresses(const ipv6::Address* addrs,
+                                                 std::size_t count);
 
   /// All prefixes holding >= min_targets hitlist addresses, sorted —
   /// the same set (and order) AliasDetector::candidate_prefixes
@@ -120,11 +162,21 @@ class CandidateCounter {
   std::size_t tracked_prefixes() const { return counts_.size(); }
 
  private:
+  using CountMap = util::FlatMap<ipv6::Prefix, std::size_t, ipv6::PrefixHash>;
+
   const netsim::BgpTable* bgp_;
   std::size_t min_targets_;
   engine::Engine* engine_;
-  std::unordered_map<ipv6::Prefix, std::size_t, ipv6::PrefixHash> counts_;
+  CountMap counts_;
   std::vector<ipv6::Prefix> candidates_;
+  // Per-day scratch, reused across calls (phase-disciplined: workers
+  // own local_[s] exclusively for their shard buckets between the
+  // dispatch and the pool barrier; everything else is
+  // coordinator-only — see the class comment).
+  std::array<CountMap, engine::kShardCount> local_;
+  engine::ShardPartition partition_;
+  std::vector<ipv6::Prefix> crossed_;
+  std::vector<ipv6::Prefix> merged_;
 };
 
 class AliasDetector {
@@ -139,38 +191,65 @@ class AliasDetector {
     scan_engine_ = scan_engine;
   }
 
+  /// Pre-size the per-prefix verdict table (day-loop zero-alloc
+  /// contract; see CandidateCounter::reserve_for).
+  void reserve_prefixes(std::size_t max_prefixes);
+
   PrefixOutcome probe_prefix(const ipv6::Prefix& prefix, int day);
 
   /// One APD day over a candidate batch: probe (sharded across the
   /// engine workers when one is attached), update windows in input
-  /// order, and return the prefixes currently judged aliased. The
-  /// fan-out counters stream through `sink` when one is given —
-  /// ResultSink::on_fanout(prefix, responded, windowed verdict) fires
-  /// serially in batch order, so a streaming consumer sees exactly
-  /// what DayOutcome materializes.
+  /// order, and fill `out` with the prefixes currently judged aliased
+  /// plus the verdict delta. `out`'s vectors are cleared and refilled
+  /// (capacity retained), so a reused DayOutcome makes a warm APD day
+  /// allocation-free. The fan-out counters stream through `sink` when
+  /// one is given — ResultSink::on_fanout(prefix, responded, windowed
+  /// verdict) fires serially in batch order, so a streaming consumer
+  /// sees exactly what DayOutcome materializes.
+  void run_day_on_prefixes(const std::vector<ipv6::Prefix>& prefixes, int day,
+                           scan::ResultSink* sink, DayOutcome& out);
+
+  /// Value-returning convenience wrapper (benches, tests).
   DayOutcome run_day_on_prefixes(const std::vector<ipv6::Prefix>& prefixes,
-                                 int day, scan::ResultSink* sink = nullptr);
+                                 int day, scan::ResultSink* sink = nullptr) {
+    DayOutcome out;
+    run_day_on_prefixes(prefixes, day, sink, out);
+    return out;
+  }
 
   /// Multi-level candidate enumeration from hitlist addresses: the
   /// announced prefix plus /48../112 aggregates holding enough targets.
   std::vector<ipv6::Prefix> candidate_prefixes(
       const std::vector<ipv6::Address>& targets) const;
 
-  /// How often each prefix's windowed verdict changed (Table 4).
-  const std::map<ipv6::Prefix, unsigned>& verdict_flips() const { return flips_; }
+  /// How often each prefix's windowed verdict changed (Table 4),
+  /// materialized in sorted order from the flat per-prefix state.
+  std::map<ipv6::Prefix, unsigned> verdict_flips() const;
 
-  /// All prefixes whose current windowed verdict is "aliased".
+  /// All prefixes whose current windowed verdict is "aliased", sorted.
   std::vector<ipv6::Prefix> current_aliased() const;
 
   const ApdOptions& options() const { return options_; }
 
  private:
+  // Sliding window plus its Table-4 flip counter, stored inline in
+  // the flat table (the separate std::map<Prefix, unsigned> it
+  // replaces allocated a node per first flip).
+  struct VerdictState {
+    SlidingVerdict window;
+    unsigned flips = 0;
+  };
+
   netsim::NetworkSim* sim_;
   ApdOptions options_;
   engine::Engine* engine_;
   scan::ScanEngine* scan_engine_ = nullptr;
-  std::map<ipv6::Prefix, SlidingVerdict> state_;
-  std::map<ipv6::Prefix, unsigned> flips_;
+  util::FlatMap<ipv6::Prefix, VerdictState, ipv6::PrefixHash> state_;
+  // Per-day scratch, reused across calls. Workers write disjoint
+  // index-addressed outcomes_[i] between dispatch and the pool
+  // barrier; partition_ is coordinator-only.
+  std::vector<PrefixOutcome> outcomes_;
+  engine::ShardPartition partition_;
 };
 
 }  // namespace v6h::apd

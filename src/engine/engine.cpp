@@ -12,19 +12,14 @@ Engine::Engine(EngineOptions options) {
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
 }
 
-void Engine::parallel_for(
+void Engine::parallel_chunks(
     std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  if (grain == 0) grain = 1;
-  if (pool_ == nullptr || n <= grain) {
-    fn(0, n);
-    return;
-  }
+    util::FunctionRef<void(std::size_t, std::size_t)> fn) {
   // ~8 stealable chunks per worker bounds scheduling overhead on one
   // side and tail imbalance (one giant shard) on the other. The
-  // by-reference capture of `fn` is safe because ThreadPool::run is a
-  // full barrier: no worker touches the task after run returns.
+  // borrowed `fn` is safe to reference from the chunk lambda because
+  // ThreadPool::run is a full barrier: no worker touches the task
+  // after run returns.
   const std::size_t max_chunks = static_cast<std::size_t>(threads_) * 8;
   const std::size_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
   const std::size_t chunks = (n + chunk - 1) / chunk;

@@ -11,10 +11,11 @@
 // input order, so results are byte-identical to the serial run.
 
 #include <cstddef>
-#include <functional>
 #include <memory>
+#include <utility>
 
 #include "engine/thread_pool.h"
+#include "util/function_ref.h"
 
 namespace v6h::engine {
 
@@ -40,10 +41,32 @@ class Engine {
   /// parallel_for is a full barrier — every fn write is visible to
   /// the caller afterwards (ThreadPool::remaining_ acq/rel) — so
   /// callers need no locks to read the results serially.
-  void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+  ///
+  /// Allocation contract: the callable is borrowed by FunctionRef —
+  /// never copied into a std::function — so dispatch itself performs
+  /// no heap allocation; the day loop's zero-alloc invariant counts
+  /// on it. The template keeps the serial branch a direct fn(0, n)
+  /// call, which also keeps lambda bodies visible to the no-alloc
+  /// lint's direct-call walk.
+  template <typename Fn>
+  void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    if (pool_ == nullptr || n <= grain) {
+      fn(std::size_t{0}, n);
+      return;
+    }
+    parallel_chunks(n, grain,
+                    util::FunctionRef<void(std::size_t, std::size_t)>(fn));
+  }
 
  private:
+  /// Out-of-line chunked dispatch through the pool. `fn` is borrowed;
+  /// ThreadPool::run is a full barrier, so the caller's frame outlives
+  /// every invocation.
+  void parallel_chunks(std::size_t n, std::size_t grain,
+                       util::FunctionRef<void(std::size_t, std::size_t)> fn);
+
   unsigned threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
 };

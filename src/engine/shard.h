@@ -62,14 +62,16 @@ struct ShardPartition {
   std::array<std::uint32_t, kShardCount + 1> bounds{};
 };
 
+/// Scratch-filling form for the steady-state day loop: `out.order` is
+/// reused across calls (capacity retained), so a warm partition
+/// allocates nothing. The shard key is computed twice per item — two
+/// shift-and-mask passes beat materializing a per-item scratch vector.
 template <typename Item, typename ShardOf>
-ShardPartition shard_partition(const Item* items, std::size_t count,
-                               ShardOf&& shard_of_item) {
-  ShardPartition out;
-  std::vector<std::uint32_t> shards(count);
+void shard_partition_into(const Item* items, std::size_t count,
+                          ShardOf&& shard_of_item, ShardPartition& out) {
+  out.bounds.fill(0);
   for (std::size_t i = 0; i < count; ++i) {
-    shards[i] = static_cast<std::uint32_t>(shard_of_item(items[i]));
-    ++out.bounds[shards[i] + 1];
+    ++out.bounds[shard_of_item(items[i]) + 1];
   }
   for (std::size_t s = 1; s <= kShardCount; ++s) {
     out.bounds[s] += out.bounds[s - 1];
@@ -77,8 +79,17 @@ ShardPartition shard_partition(const Item* items, std::size_t count,
   auto cursor = out.bounds;
   out.order.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
-    out.order[cursor[shards[i]]++] = static_cast<std::uint32_t>(i);
+    out.order[cursor[shard_of_item(items[i])]++] =
+        static_cast<std::uint32_t>(i);
   }
+}
+
+template <typename Item, typename ShardOf>
+ShardPartition shard_partition(const Item* items, std::size_t count,
+                               ShardOf&& shard_of_item) {
+  ShardPartition out;
+  shard_partition_into(items, count, std::forward<ShardOf>(shard_of_item),
+                       out);
   return out;
 }
 

@@ -29,16 +29,15 @@ bool ThreadPool::run_one(unsigned self) {
   {
     Queue& own = *queues_[self];
     util::MutexLock lock(own.mu);
-    if (!own.tasks.empty()) {
-      index = own.tasks.front();
-      own.tasks.pop_front();
+    if (own.head < own.tasks.size()) {
+      index = own.tasks[own.head++];
       found = true;
     }
   }
   for (std::size_t offset = 1; !found && offset < queues_.size(); ++offset) {
     Queue& victim = *queues_[(self + offset) % queues_.size()];
     util::MutexLock lock(victim.mu);
-    if (!victim.tasks.empty()) {
+    if (victim.head < victim.tasks.size()) {
       index = victim.tasks.back();  // steal from the cold end
       victim.tasks.pop_back();
       found = true;
@@ -75,7 +74,7 @@ void ThreadPool::worker_loop(unsigned self) {
 }
 
 void ThreadPool::run(std::size_t count,
-                     const std::function<void(std::size_t)>& task) {
+                     util::FunctionRef<void(std::size_t)> task) {
   if (count == 0) return;
   if (inside_run_) {
     for (std::size_t i = 0; i < count; ++i) task(i);
@@ -85,11 +84,20 @@ void ThreadPool::run(std::size_t count,
   // task_ and remaining_ are published before any index is enqueued: a
   // late worker still draining the previous epoch may legally steal
   // the new tasks, and must observe both the moment it pops an index.
+  // `task` lives in this frame until the barrier below completes, so
+  // publishing its address is safe.
   task_.store(&task, std::memory_order_release);
   remaining_.store(count, std::memory_order_release);
   for (std::size_t i = 0; i < count; ++i) {
     Queue& queue = *queues_[i % queues_.size()];
     util::MutexLock lock(queue.mu);
+    if (queue.head == queue.tasks.size()) {
+      // Previous epoch fully drained: recycle the ring in place. Safe
+      // because run() returns only after remaining_ hits zero, so no
+      // stale index can still be pending here.
+      queue.tasks.clear();
+      queue.head = 0;
+    }
     queue.tasks.push_back(i);
   }
   {

@@ -1,13 +1,20 @@
 #pragma once
 
-// Work-stealing thread pool underneath engine::Engine. One task deque
+// Work-stealing thread pool underneath engine::Engine. One task queue
 // per worker (slot 0 belongs to the calling thread); run() deals task
-// indices round-robin across the deques, and each worker drains its
-// own deque from the front, stealing from a victim's back once empty.
+// indices round-robin across the queues, and each worker drains its
+// own queue from the front, stealing from a victim's back once empty.
 //
 // run() is driven from one thread at a time (the pipeline's main
 // thread); a nested run() call degrades to inline execution on the
 // caller instead of deadlocking.
+//
+// Allocation discipline: run() takes a util::FunctionRef — a borrowed
+// two-word callable, not a std::function — and the queues are flat
+// vector rings (head cursor + push_back) instead of std::deque, whose
+// node churn allocated under steady cycling. A warm pool therefore
+// dispatches with zero heap allocations, which the day loop's
+// counting-allocator contract (tests/test_day_alloc.cpp) relies on.
 //
 // Locking discipline (checked by -Wthread-safety under Clang):
 // per-queue state is guarded by that queue's mutex, the epoch/stop
@@ -17,12 +24,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "util/function_ref.h"
 #include "util/thread_annotations.h"
 
 namespace v6h::engine {
@@ -37,13 +43,18 @@ class ThreadPool {
   /// Execute task(0) .. task(count - 1) across all workers and return
   /// once every call has finished. Which worker runs which index is
   /// unspecified — callers keep determinism by writing disjoint,
-  /// index-addressed outputs.
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+  /// index-addressed outputs. The referenced callable lives in the
+  /// caller's frame across the full barrier, so borrowing it is safe.
+  void run(std::size_t count, util::FunctionRef<void(std::size_t)> task);
 
  private:
   struct Queue {
     util::Mutex mu;
-    std::deque<std::size_t> tasks V6H_GUARDED_BY(mu);
+    // Flat ring: tasks[head..tasks.size()) are pending. run() refills
+    // from empty (clear + push_back, capacity retained), workers pop
+    // the front by advancing head, stealers pop_back.
+    std::vector<std::size_t> tasks V6H_GUARDED_BY(mu);
+    std::size_t head V6H_GUARDED_BY(mu) = 0;
   };
 
   bool run_one(unsigned self);
@@ -58,7 +69,7 @@ class ThreadPool {
   // tasks without ever touching mu_). Reset to nullptr only after
   // remaining_ has been observed at zero, i.e. after every dereference
   // has completed.
-  std::atomic<const std::function<void(std::size_t)>*> task_{nullptr};
+  std::atomic<const util::FunctionRef<void(std::size_t)>*> task_{nullptr};
   // Tasks not yet finished in the current run(). fetch_sub(acq_rel)
   // after each task body makes every task's writes visible to the
   // run() caller, whose predicate re-load under mu_ uses acquire: the

@@ -86,6 +86,12 @@ void AliasFilter::is_aliased_many(const Address* in, std::size_t count,
   }
 }
 
+void AliasFilter::reserve(std::size_t max_prefixes,
+                          std::size_t max_trie_nodes) {
+  prefixes_.reserve(max_prefixes);
+  for (auto& trie : tries_) trie.reserve(max_trie_nodes, max_prefixes);
+}
+
 Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
                    PipelineOptions options, engine::Engine* engine)
     : universe_(&universe),
@@ -97,21 +103,77 @@ Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
       scanner_(sim, engine),
       scan_engine_(sim, engine) {
   if (!options_.legacy_scan) detector_.set_scan_engine(&scan_engine_);
+  // Front-load every steady-state buffer to its campaign bound. The
+  // source simulator can never emit more unique addresses than the
+  // sum of its per-source final counts (growth fractions cap at 1),
+  // so that sum bounds the store, the resolution cache, the frame's
+  // row space, and — at ~5 level prefixes per address — the APD
+  // candidate tables. The aliased set is far smaller (only genuinely
+  // aliased zones survive the 16/16 fan-out), so the filter and the
+  // per-day flip lists get a detection-sized budget with generous
+  // slack; the counting-allocator test (tests/test_day_alloc.cpp)
+  // fails loudly if a campaign ever outgrows any of these.
+  const std::size_t bound = sources_.max_unique_addresses();
+  const std::size_t prefix_bound = bound * 4 + 64;
+  const std::size_t aliased_budget =
+      256 + universe.true_aliased_prefixes().size() * 64;
+  store_.reserve(bound);
+  counter_.reserve_for(bound);
+  detector_.reserve_prefixes(prefix_bound);
+  scan_engine_.reserve(bound);
+  frame_.reserve(bound);
+  filter_.reserve(aliased_budget, 2048 + aliased_budget * 24);
+  scratch_.reserve(bound, prefix_bound);
+  delta_.became_aliased.reserve(prefix_bound);
+  delta_.became_clean.reserve(prefix_bound);
+}
+
+std::vector<Prefix> Pipeline::rebuild_candidates() {
+  return detector_.candidate_prefixes(store_.addresses());
+}
+
+void Pipeline::rebuild_filter() {
+  filter_ = AliasFilter(detector_.current_aliased());
+  std::vector<char> aliased;
+  filter_.is_aliased_many(store_.addresses(), &aliased, engine_);
+  for (std::size_t row = 0; row < aliased.size(); ++row) {
+    store_.set_aliased(row, aliased[row] != 0);
+  }
+}
+
+void Pipeline::legacy_scan_day(int day, scan::ResultSink* sink) {
+  std::vector<Address> scan_targets;
+  store_.unaliased_addresses(&scan_targets);
+  probe::ScanOptions scan_options;
+  scan_options.protocols = options_.schedule.protocols;
+  // The legacy probe sweep fills a reusable list-aligned scratch
+  // frame; only the masks are re-scattered into the store-aligned
+  // frame (no per-day report materialization even on this path).
+  scanner_.scan_legacy(scan_targets, day, scan_options, &legacy_scratch_);
+  const auto& rows = store_.unaliased_rows();
+  frame_.reset(day, store_.addresses().data(), store_.size());
+  frame_.admit(rows.data(), rows.size());
+  net::ProtocolMask* masks = frame_.mutable_masks();
+  const net::ProtocolMask* legacy_masks = legacy_scratch_.masks();
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    masks[rows[k]] = legacy_masks[k];
+  }
+  frame_.finish(sink);
 }
 
 Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   DayReport report;
   report.day = day;
-  DayDelta delta;
-  delta.day = day;
-  delta.first_new_row = static_cast<std::uint32_t>(store_.size());
+  delta_.clear();
+  delta_.day = day;
+  delta_.first_new_row = static_cast<std::uint32_t>(store_.size());
 
   // 1. Collect: every source contributes its day-`day` snapshot; the
   // scamper source traceroutes toward the hitlist so far. The
   // first-seen dedup stays serial in draw order (TargetStore::insert),
   // so row order is identical for any thread count.
   for (const auto source : netsim::kAllSources) {
-    const auto result =
+    const auto& result =
         source == netsim::SourceId::kScamper
             ? sources_.collect(source, day, store_.addresses())
             : sources_.collect(source, day);
@@ -119,7 +181,7 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
       if (store_.insert(a, day)) ++report.new_addresses;
     }
   }
-  delta.row_count = static_cast<std::uint32_t>(store_.size());
+  delta_.row_count = static_cast<std::uint32_t>(store_.size());
 
   // 2. APD over the multi-level candidates. Incremental: fold only
   // the day's new rows into the persistent counters. Rebuild hatch:
@@ -129,44 +191,43 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   // full daily probe history.
   std::vector<Prefix> recounted;
   if (options_.rebuild_each_day) {
-    recounted = detector_.candidate_prefixes(store_.addresses());
+    recounted = rebuild_candidates();
   } else {
-    counter_.add_addresses(store_.addresses().data() + delta.first_new_row,
-                           delta.new_addresses());
+    counter_.add_addresses(store_.addresses().data() + delta_.first_new_row,
+                           delta_.new_addresses());
   }
   const auto& candidates =
       options_.rebuild_each_day ? recounted : counter_.candidates();
-  auto outcome = detector_.run_day_on_prefixes(candidates, day, sink);
-  delta.became_aliased = std::move(outcome.became_aliased);
-  delta.became_clean = std::move(outcome.became_clean);
+  detector_.run_day_on_prefixes(candidates, day, sink, scratch_.outcome);
+  // Swap, don't move: the outcome's buffers and the delta's circulate
+  // between the two structs, so neither side ever reallocates.
+  delta_.became_aliased.swap(scratch_.outcome.became_aliased);
+  delta_.became_clean.swap(scratch_.outcome.became_clean);
 
   // 3. Alias filter + per-row verdict flags.
   if (options_.rebuild_each_day) {
-    filter_ = AliasFilter(detector_.current_aliased());
-    std::vector<char> aliased;
-    filter_.is_aliased_many(store_.addresses(), &aliased, engine_);
-    for (std::size_t row = 0; row < aliased.size(); ++row) {
-      store_.set_aliased(row, aliased[row] != 0);
-    }
+    rebuild_filter();
   } else {
     // Apply the verdict transitions in place, then re-filter exactly
     // the rows whose answer can have changed: the day's new rows
     // (all flags start clean) and the members of flipped prefixes —
     // a row outside every flipped prefix keeps yesterday's longest
     // match. Overlap between the two sets is harmless: both assign
-    // the same freshly-computed verdict.
-    for (const auto& prefix : delta.became_aliased) filter_.insert(prefix);
-    for (const auto& prefix : delta.became_clean) filter_.remove(prefix);
-    std::vector<char> aliased;
-    filter_.is_aliased_many(store_.addresses().data() + delta.first_new_row,
-                            delta.new_addresses(), &aliased, engine_);
-    for (std::size_t i = 0; i < aliased.size(); ++i) {
-      store_.set_aliased(delta.first_new_row + i, aliased[i] != 0);
+    // the same freshly-computed verdict. Removes run first so the
+    // tries' freed value slots feed the inserts (the sets are
+    // disjoint, so the order cannot change the resulting filter).
+    for (const auto& prefix : delta_.became_clean) filter_.remove(prefix);
+    for (const auto& prefix : delta_.became_aliased) filter_.insert(prefix);
+    filter_.is_aliased_many(store_.addresses().data() + delta_.first_new_row,
+                            delta_.new_addresses(), &scratch_.aliased,
+                            engine_);
+    for (std::size_t i = 0; i < scratch_.aliased.size(); ++i) {
+      store_.set_aliased(delta_.first_new_row + i, scratch_.aliased[i] != 0);
     }
-    std::vector<std::uint32_t> affected;
-    store_.rows_within_many(delta.became_aliased, &affected);
-    store_.rows_within_many(delta.became_clean, &affected);
-    for (const auto row : affected) {
+    scratch_.affected.clear();
+    store_.rows_within_many(delta_.became_aliased, &scratch_.affected);
+    store_.rows_within_many(delta_.became_clean, &scratch_.affected);
+    for (const auto row : scratch_.affected) {
       store_.set_aliased(row, filter_.is_aliased(store_.address(row)));
     }
   }
@@ -179,30 +240,13 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   // frame so both paths hand consumers the same surface. Identical
   // frames either way — only per-probe cost differs.
   if (options_.legacy_scan) {
-    std::vector<Address> scan_targets;
-    store_.unaliased_addresses(&scan_targets);
-    probe::ScanOptions scan_options;
-    scan_options.protocols = options_.schedule.protocols;
-    // The legacy probe sweep fills a reusable list-aligned scratch
-    // frame; only the masks are re-scattered into the store-aligned
-    // frame (no per-day report materialization even on this path).
-    scanner_.scan_legacy(scan_targets, day, scan_options, &legacy_scratch_);
-    const auto& rows = store_.unaliased_rows();
-    frame_.reset(day, store_.addresses().data(), store_.size());
-    frame_.admit(rows.data(), rows.size());
-    net::ProtocolMask* masks = frame_.mutable_masks();
-    const net::ProtocolMask* legacy_masks = legacy_scratch_.masks();
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      masks[rows[k]] = legacy_masks[k];
-    }
-    frame_.finish(sink);
+    legacy_scan_day(day, sink);
   } else {
     scan_engine_.sync(store_, day);
     scan_engine_.scan_store(store_, day, options_.schedule, &frame_, sink);
   }
   report.scanned_targets = frame_.rows().size();
   report.frame = &frame_;
-  delta_ = std::move(delta);
   return report;
 }
 

@@ -31,6 +31,7 @@
 #include "apd/apd.h"
 #include "engine/engine.h"
 #include "engine/shard.h"
+#include "hitlist/day_scratch.h"
 #include "hitlist/target_store.h"
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
@@ -80,6 +81,15 @@ class AliasFilter {
  public:
   AliasFilter() = default;
   explicit AliasFilter(std::vector<ipv6::Prefix> prefixes);
+
+  /// Pre-size the sorted membership list and the per-shard tries so
+  /// day-loop inserts never grow a container: `max_prefixes` bounds
+  /// the aliased set, `max_trie_nodes` the node arena of each shard's
+  /// trie (path compression is absent, so budget ~ the deepest
+  /// prefix length for the first insert in a region plus a short
+  /// marginal tail for each further prefix; the counting-allocator
+  /// test fails loudly if a campaign outgrows the budget).
+  void reserve(std::size_t max_prefixes, std::size_t max_trie_nodes);
 
   /// Add `prefix` to the aliased set (no-op when present).
   void insert(const ipv6::Prefix& prefix);
@@ -167,6 +177,14 @@ class Pipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
+  // The legacy escape hatches, out of line and noinline on purpose:
+  // they are allowed to allocate (full recount / rebuild / per-probe
+  // scan), so tools/noalloc_lint.py allowlists them by name and the
+  // steady-state graph under run_day stays provably allocation-free.
+  [[gnu::noinline]] std::vector<ipv6::Prefix> rebuild_candidates();
+  [[gnu::noinline]] void rebuild_filter();
+  [[gnu::noinline]] void legacy_scan_day(int day, scan::ResultSink* sink);
+
   const netsim::Universe* universe_;
   PipelineOptions options_;
   engine::Engine* engine_;
@@ -181,6 +199,9 @@ class Pipeline {
   scan::ScanFrame frame_;
   // Reusable list-aligned scratch for the --legacy-scan probe sweep.
   scan::ScanFrame legacy_scratch_;
+  // Per-day transient buffers (see day_scratch.h): coordinator-owned,
+  // cleared and refilled once per run_day.
+  DayScratch scratch_;
 };
 
 }  // namespace v6h::hitlist

@@ -1,6 +1,7 @@
 #include "hitlist/target_store.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "engine/shard.h"
 
@@ -31,9 +32,31 @@ Address last_address(const Prefix& prefix) {
 
 }  // namespace
 
+void TargetStore::reserve(std::size_t max_rows) {
+  addresses_.reserve(max_rows);
+  first_seen_.reserve(max_rows);
+  aliased_.reserve(max_rows);
+  shards_.reserve(max_rows);
+  index_.reserve(max_rows);
+  // Every row lives in exactly one run or the tail, so the arena and
+  // the merge scratch are both bounded by the row count; the span
+  // stack is logarithmic (geometric run sizes) — 64 is unreachable.
+  run_storage_.reserve(max_rows);
+  merge_scratch_.reserve(max_rows);
+  tail_.reserve(kTailLimit);
+  spans_.reserve(64);
+  unaliased_rows_.reserve(max_rows);
+  unaliased_scratch_.reserve(max_rows);
+  pending_flips_.reserve(max_rows);
+  hits_scratch_.reserve(max_rows);
+  batch_scratch_.reserve(max_rows);
+}
+
 bool TargetStore::insert(const Address& a, int day) {
   const auto row = static_cast<std::uint32_t>(addresses_.size());
-  if (!index_.emplace(a, row).second) return false;
+  auto [entry, inserted] = index_.try_emplace(a);
+  if (!inserted) return false;
+  entry->second = row;
   addresses_.push_back(a);
   first_seen_.push_back(day);
   aliased_.push_back(0);
@@ -41,39 +64,47 @@ bool TargetStore::insert(const Address& a, int day) {
 
   tail_.push_back(Entry{a, row});
   if (tail_.size() < kTailLimit) return true;
-  // Spill the tail as a new sorted run, then keep merging while the
-  // previous run is not substantially larger (the logarithmic
-  // method): run sizes stay geometric, inserts cost O(log n)
-  // amortized, and every run is one dense sorted block.
-  std::sort(tail_.begin(), tail_.end(),
-            [](const Entry& x, const Entry& y) { return x.address < y.address; });
-  runs_.push_back(std::move(tail_));
+  // Spill the tail as a new sorted run at the arena's end, then keep
+  // merging while the previous run is not substantially larger (the
+  // logarithmic method): run sizes stay geometric, inserts cost
+  // O(log n) amortized, and every run is one dense sorted block.
+  const auto cmp = [](const Entry& x, const Entry& y) {
+    return x.address < y.address;
+  };
+  std::sort(tail_.begin(), tail_.end(), cmp);
+  spans_.push_back(RunSpan{static_cast<std::uint32_t>(run_storage_.size()),
+                           static_cast<std::uint32_t>(tail_.size())});
+  run_storage_.insert(run_storage_.end(), tail_.begin(), tail_.end());
   tail_.clear();
-  while (runs_.size() >= 2 &&
-         runs_[runs_.size() - 2].size() < 2 * runs_.back().size()) {
-    auto& left = runs_[runs_.size() - 2];
-    auto& right = runs_.back();
-    std::vector<Entry> merged;
-    merged.reserve(left.size() + right.size());
-    std::merge(left.begin(), left.end(), right.begin(), right.end(),
-               std::back_inserter(merged),
-               [](const Entry& x, const Entry& y) {
-                 return x.address < y.address;
-               });
-    runs_.pop_back();
-    runs_.back() = std::move(merged);
+  while (spans_.size() >= 2 &&
+         spans_[spans_.size() - 2].length < 2 * spans_.back().length) {
+    // The two most recent runs are adjacent in the arena (spans are a
+    // stack), so merge through the scratch and copy back in place —
+    // the arena size is conserved and nothing allocates when warm.
+    RunSpan& left = spans_[spans_.size() - 2];
+    const RunSpan right = spans_.back();
+    Entry* base = run_storage_.data();
+    merge_scratch_.clear();
+    std::merge(base + left.offset, base + left.offset + left.length,
+               base + right.offset, base + right.offset + right.length,
+               std::back_inserter(merge_scratch_), cmp);
+    std::copy(merge_scratch_.begin(), merge_scratch_.end(),
+              base + left.offset);
+    left.length += right.length;
+    spans_.pop_back();
   }
   return true;
 }
 
 void TargetStore::gather_range(const Address& first, const Address& last,
                                std::vector<Entry>* hits) const {
-  for (const auto& run : runs_) {
-    auto it = std::lower_bound(run.begin(), run.end(), first,
-                               [](const Entry& e, const Address& a) {
-                                 return e.address < a;
-                               });
-    for (; it != run.end() && !(last < it->address); ++it) {
+  for (const auto& span : spans_) {
+    const Entry* begin = run_storage_.data() + span.offset;
+    const Entry* end = begin + span.length;
+    const Entry* it = std::lower_bound(
+        begin, end, first,
+        [](const Entry& e, const Address& a) { return e.address < a; });
+    for (; it != end && !(last < it->address); ++it) {
       hits->push_back(*it);
     }
   }
@@ -86,28 +117,29 @@ void TargetStore::gather_range(const Address& first, const Address& last,
 
 void TargetStore::rows_within(const Prefix& prefix,
                               std::vector<std::uint32_t>* rows) const {
-  std::vector<Entry> hits;
-  gather_range(prefix.address(), last_address(prefix), &hits);
+  hits_scratch_.clear();
+  gather_range(prefix.address(), last_address(prefix), &hits_scratch_);
   // Runs are disjoint (addresses are unique), but their matches
   // interleave; restore the ascending address order the old ordered
   // index delivered.
-  std::sort(hits.begin(), hits.end(),
+  std::sort(hits_scratch_.begin(), hits_scratch_.end(),
             [](const Entry& x, const Entry& y) { return x.address < y.address; });
-  for (const auto& entry : hits) rows->push_back(entry.row);
+  for (const auto& entry : hits_scratch_) rows->push_back(entry.row);
 }
 
 void TargetStore::rows_within_many(const std::vector<Prefix>& prefixes,
                                    std::vector<std::uint32_t>* rows) const {
-  std::vector<Entry> hits;
+  hits_scratch_.clear();
   for (const auto& prefix : prefixes) {
-    gather_range(prefix.address(), last_address(prefix), &hits);
+    gather_range(prefix.address(), last_address(prefix), &hits_scratch_);
   }
-  std::vector<std::uint32_t> batch;
-  batch.reserve(hits.size());
-  for (const auto& entry : hits) batch.push_back(entry.row);
-  std::sort(batch.begin(), batch.end());
-  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
-  rows->insert(rows->end(), batch.begin(), batch.end());
+  batch_scratch_.clear();
+  for (const auto& entry : hits_scratch_) batch_scratch_.push_back(entry.row);
+  std::sort(batch_scratch_.begin(), batch_scratch_.end());
+  batch_scratch_.erase(
+      std::unique(batch_scratch_.begin(), batch_scratch_.end()),
+      batch_scratch_.end());
+  rows->insert(rows->end(), batch_scratch_.begin(), batch_scratch_.end());
 }
 
 const std::vector<std::uint32_t>& TargetStore::unaliased_rows() const {

@@ -7,20 +7,29 @@
 // shard) live in their own dense arrays so a stage touches only the
 // bytes it reads.
 //
-// First-seen dedup runs on a hash index; the "all targets inside this
-// prefix" range queries run on sorted-run blocks: appended rows
+// First-seen dedup runs on a flat hash index; the "all targets inside
+// this prefix" range queries run on sorted-run blocks: appended rows
 // collect in a small tail, spill into a sorted run, and runs merge
 // geometrically (logarithmic-method) so each stays a dense sorted
 // array a range query can binary-search — contiguous scans instead of
 // the pointer-chasing of the old std::map index, and a batched form
 // answers a whole flip-list of prefixes in one call.
+//
+// All runs live back-to-back in ONE arena (run_storage_) addressed by
+// (offset, length) spans: runs form a stack, and the logarithmic
+// method only ever merges the two most recent — i.e. adjacent — runs,
+// so a merge writes through a reused scratch buffer and copies back
+// in place. With reserve() sized to the campaign bound, inserts and
+// spill-day merges are allocation-free (day-loop zero-alloc
+// contract); without it the arena grows geometrically like any
+// vector, so standalone use keeps working.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "ipv6/address.h"
 #include "ipv6/prefix.h"
+#include "util/flat_hash.h"
 
 namespace v6h::hitlist {
 
@@ -36,10 +45,23 @@ struct DayDelta {
   std::vector<ipv6::Prefix> became_clean;
 
   std::size_t new_addresses() const { return row_count - first_new_row; }
+
+  void clear() {
+    day = -1;
+    first_new_row = 0;
+    row_count = 0;
+    became_aliased.clear();
+    became_clean.clear();
+  }
 };
 
 class TargetStore {
  public:
+  /// Pre-size every column, the hash index, and the run arena for a
+  /// store that will never exceed `max_rows` rows, so inserts and
+  /// run merges never allocate afterwards.
+  void reserve(std::size_t max_rows);
+
   /// First-seen dedup: appends a row when `a` is new and returns
   /// true; a duplicate leaves the store untouched.
   bool insert(const ipv6::Address& a, int day);
@@ -87,12 +109,22 @@ class TargetStore {
   /// the materialized form of unaliased_rows() (legacy scan path).
   void unaliased_addresses(std::vector<ipv6::Address>* out) const;
 
-  std::size_t sorted_run_count() const { return runs_.size(); }
+  std::size_t sorted_run_count() const { return spans_.size(); }
 
  private:
   struct Entry {
     ipv6::Address address;
     std::uint32_t row;
+  };
+
+  // One sorted run inside run_storage_: entries
+  // [offset, offset + length), ascending by address. Spans are
+  // stacked in arena order, so spans_[i+1].offset ==
+  // spans_[i].offset + spans_[i].length and the last span ends at
+  // run_storage_.size().
+  struct RunSpan {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
   };
 
   // Collect matches of one [first, last] address range as entries.
@@ -103,10 +135,18 @@ class TargetStore {
   std::vector<std::int32_t> first_seen_;
   std::vector<char> aliased_;
   std::vector<std::uint8_t> shards_;
-  std::unordered_map<ipv6::Address, std::uint32_t, ipv6::AddressHash> index_;
-  // Ordered index: geometric sorted runs + an unsorted recent tail.
-  std::vector<std::vector<Entry>> runs_;
+  util::FlatMap<ipv6::Address, std::uint32_t, ipv6::AddressHash> index_;
+  // Ordered index: geometric sorted runs in one arena + an unsorted
+  // recent tail. merge_scratch_ is the reused merge buffer (adjacent
+  // runs merge through it and copy back in place).
+  std::vector<Entry> run_storage_;
+  std::vector<RunSpan> spans_;
   std::vector<Entry> tail_;
+  std::vector<Entry> merge_scratch_;
+  // Reused query scratch for the range gathers. Mutable like the
+  // unaliased index below: logically-const reads fill caches.
+  mutable std::vector<Entry> hits_scratch_;
+  mutable std::vector<std::uint32_t> batch_scratch_;
   // Incremental unaliased-row index. `unaliased_rows_` covers rows
   // [0, indexed_rows_); `pending_flips_` holds indexed rows whose
   // flag changed since the last flush. Mutable: the flush is a cache

@@ -138,8 +138,17 @@ ZoneProbeParams params_of(const Zone& zone) {
 
 NetworkSim::NetworkSim(const Universe& universe) : universe_(&universe) {
   zone_params_.reserve(universe.zones().size());
+  zone_kernel_.reserve(universe.zones().size());
   for (const auto& zone : universe.zones()) {
-    zone_params_.push_back(params_of(zone));
+    const ZoneProbeParams zp = params_of(zone);
+    zone_params_.push_back(zp);
+    ZoneKernelParams kp;
+    kp.key = zp.key;
+    kp.loss_t = unit_threshold(zp.loss);
+    kp.stab_t = unit_threshold(zp.stability);
+    kp.nodes = zp.nodes ? 1 : 0;
+    kp.quic_flaky = zp.quic_flaky ? 1 : 0;
+    zone_kernel_.push_back(kp);
   }
 }
 
@@ -311,6 +320,11 @@ void NetworkSim::probe_resolved_mask(const ResolvedColumns& t,
                                      int day, unsigned seq,
                                      net::ProtocolMask* masks) {
   probes_sent_.fetch_add(count, std::memory_order_relaxed);
+  if (kernel_ == ProbeKernel::kBranchless) {
+    probe_mask_branchless(t, zone_kernel_.data(), rows, count, protocol, day,
+                          seq, masks);
+    return;
+  }
   const ZoneProbeParams* zones = zone_params_.data();
   const net::ProtocolMask bit = net::mask_of(protocol);
   for (std::size_t k = 0; k < count; ++k) {

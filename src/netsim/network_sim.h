@@ -21,6 +21,7 @@
 
 #include "ipv6/address.h"
 #include "net/protocol.h"
+#include "netsim/probe_kernel.h"
 #include "netsim/universe.h"
 
 namespace v6h::netsim {
@@ -142,10 +143,18 @@ class NetworkSim {
   /// scan::ScanFrame's mask column), so retries and partial sweeps
   /// scatter into the same buffer without a position remap. Touches
   /// only the predicate columns (no machine-image fill); the
-  /// responded bit is identical to probe().responded.
+  /// responded bit is identical to probe().responded. Runs the
+  /// branchless SIMD kernel by default (probe_kernel.h); the two
+  /// kernels are bit-identical (tests/test_probe_kernel.cpp).
   void probe_resolved_mask(const ResolvedColumns& t, const std::uint32_t* rows,
                            std::size_t count, net::Protocol protocol, int day,
                            unsigned seq, net::ProtocolMask* masks);
+
+  /// Select the probe_resolved_mask implementation. Coordinator-only:
+  /// set it between scans, never while engine workers are probing
+  /// (kernel_ is read unsynchronized inside the sweep).
+  void set_probe_kernel(ProbeKernel kernel) { kernel_ = kernel; }
+  ProbeKernel probe_kernel() const { return kernel_; }
 
   std::uint64_t probes_sent() const {
     return probes_sent_.load(std::memory_order_relaxed);
@@ -161,6 +170,13 @@ class NetworkSim {
   // probe calls need no synchronization to read them.
   const Universe* universe_;
   std::vector<ZoneProbeParams> zone_params_;
+  // zone_params_ with thresholds in the kernel's integer form; same
+  // construct-once / read-only-after discipline.
+  std::vector<ZoneKernelParams> zone_kernel_;
+  // Which probe_resolved_mask implementation runs (see the setter's
+  // discipline note); not part of the read-only invariant above, but
+  // only mutated between scans on the coordinator.
+  ProbeKernel kernel_ = ProbeKernel::kBranchless;
   // Relaxed ordering is sufficient by invariant: this counter is the
   // sim's ONLY mutable state, no other memory is published through
   // it, and nothing branches on intermediate values — every reader

@@ -1,0 +1,85 @@
+#pragma once
+
+// Branch-free columnar probe kernel: the SIMD form of the day/seq
+// predicate half of NetworkSim::probe (resolved_responds in
+// network_sim.cpp).
+//
+// The scalar predicate short-circuits: it rolls a loss hash only when
+// the zone has loss, a churn hash only for node zones, a QUIC hash
+// only for flaky zones — data-dependent branches that serialize the
+// sweep over a mixed-zone row set. The kernel restructures the sweep
+// into a two-pass tiled form: a scalar gather pass admits rows by
+// service mask and splits them into dense honest and aliased lanes,
+// then branchless unit-stride loops compute every hash
+// unconditionally and combine the verdicts with masks, and a scatter
+// pass ORs the protocol bit into the frame's mask column. The dense
+// loops carry no lane-dependent control flow, so the compiler
+// auto-vectorizes them (tools/check_vectorization.sh asserts the
+// remarks); per-function target clones give AVX2 encodings with a
+// baseline fallback picked at load time.
+//
+// Bit-exact equivalence with the scalar path is load-bearing, not
+// best-effort. Every threshold comparison uses the exact-integer
+// identity below (hash_unit < p <=> 53-bit hash < ceil(p * 2^53)),
+// the shared-prefix hash factoring is pure function composition of
+// splitmix64 rounds, and the one genuinely floating-point comparison
+// (the day-dependent QUIC acceptance rate) is computed with the
+// scalar path's exact rounding sequence. tests/test_probe_kernel.cpp
+// asserts mask-for-mask equality across address classes, protocols,
+// days, and seq, and DayReport equality over whole campaigns for
+// seeds x thread counts.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/protocol.h"
+
+namespace v6h::netsim {
+
+struct ResolvedColumns;
+
+/// Which implementation NetworkSim::probe_resolved_mask runs.
+/// kBranchless is the default; kScalar keeps the reference loop
+/// callable so the equivalence test can compare the two on the same
+/// sim. Selection is coordinator-only (set it before a scan, not
+/// during one).
+enum class ProbeKernel {
+  kScalar,      // reference: per-row resolved_responds, short-circuiting
+  kBranchless,  // tiled gather/compute/scatter, auto-vectorized
+};
+
+/// ZoneProbeParams with the probability thresholds pre-converted to
+/// the 53-bit integer form the branchless loops compare against.
+/// Built once per NetworkSim next to zone_params_; day-independent.
+struct ZoneKernelParams {
+  std::uint64_t key = 0;
+  std::uint64_t loss_t = 0;  // unit_threshold(loss)
+  std::uint64_t stab_t = 0;  // unit_threshold(stability)
+  std::uint8_t nodes = 0;        // Bitnodes-style churn applies
+  std::uint8_t quic_flaky = 0;   // day-dependent QUIC acceptance rate
+};
+
+/// Exact-integer threshold: hash_unit(a,b,c) < p if and only if
+/// (hash64(a,b,c) >> 11) < unit_threshold(p), for any double p in
+/// [0, 1]. The 53-bit hash converts to double exactly, p * 2^53 is an
+/// exact power-of-two scale, and an integer is below a real bound iff
+/// it is below the bound's ceiling — so the double comparison the
+/// scalar predicate performs and this integer comparison decide
+/// identically, including the p = 0 (never) and p = 1 (always) edges.
+constexpr std::uint64_t unit_threshold(double p) {
+  const double scaled = p * 0x1.0p53;
+  const auto floor_part = static_cast<std::uint64_t>(scaled);
+  return floor_part + (static_cast<double>(floor_part) < scaled ? 1u : 0u);
+}
+
+/// The branchless sweep: for each of rows[0..count), OR
+/// mask_of(protocol) into masks[rows[k]] iff the row answers this
+/// (protocol, day, seq) probe — bit-identical to the kScalar loop.
+/// `zones` is the NetworkSim's ZoneKernelParams table.
+void probe_mask_branchless(const ResolvedColumns& t,
+                           const ZoneKernelParams* zones,
+                           const std::uint32_t* rows, std::size_t count,
+                           net::Protocol protocol, int day, unsigned seq,
+                           net::ProtocolMask* masks);
+
+}  // namespace v6h::netsim

@@ -43,6 +43,25 @@ netsim::ResolvedTarget ResolvedTargetTable::row(std::size_t i) const {
   return r;
 }
 
+void ResolvedTargetTable::reserve(std::size_t max_rows) {
+  zone_.reserve(max_rows);
+  slot_.reserve(max_rows);
+  flags_.reserve(max_rows);
+  service_mask_.reserve(max_rows);
+  ittl_.reserve(max_rows);
+  wscale_.reserve(max_rows);
+  options_id_.reserve(max_rows);
+  ttl_.reserve(max_rows);
+  mss_.reserve(max_rows);
+  wsize_.reserve(max_rows);
+  ts_hz_.reserve(max_rows);
+  ts_offset_.reserve(max_rows);
+  epoch_.reserve(max_rows);
+  alias_hash_.reserve(max_rows);
+  rotating_rows_.reserve(max_rows);
+  extend_hash_scratch_.reserve(max_rows);
+}
+
 void ResolvedTargetTable::extend(const Address* addrs, std::size_t count,
                                  int day, engine::Engine* engine) {
   if (count == 0) return;

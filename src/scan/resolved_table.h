@@ -33,6 +33,11 @@ class ResolvedTargetTable {
 
   std::size_t size() const { return zone_.size(); }
 
+  /// Pre-size every column for a table that will never exceed
+  /// `max_rows` rows, so daily extend() calls never reallocate
+  /// (day-loop zero-alloc contract).
+  void reserve(std::size_t max_rows);
+
   /// Resolve `count` new addresses at `day`'s epoch and append their
   /// rows. Resolution is a pure per-row function, so with an engine
   /// the fill fans out across workers with index-addressed writes —

@@ -48,13 +48,10 @@ void probe_chunk(netsim::NetworkSim& sim, const ResolvedColumns& cols,
   }
 }
 
-// Engine dispatch, out of line on purpose: handing the chunk lambda
-// to Engine::parallel_for constructs a std::function, whose capture
-// spill is the one remaining allocation of the parallel scan path
-// (ROADMAP item 1 tracks removing it with per-shard scratch). Keeping
-// the dispatch in its own function gives tools/noalloc_lint.py a
-// named node to allowlist, so the serial steady-state graph below it
-// stays provably allocation-free.
+// Engine dispatch, out of line so the scan core stays readable.
+// parallel_for borrows the chunk lambda through util::FunctionRef —
+// no std::function, no capture spill — so the parallel scan path is
+// as allocation-free as the serial one and needs no lint allowlist.
 [[gnu::noinline]] void run_scan_parallel(netsim::NetworkSim& sim,
                                          engine::Engine& engine,
                                          const ResolvedColumns& cols,

@@ -34,6 +34,10 @@ class ScanEngine {
   explicit ScanEngine(netsim::NetworkSim& sim, engine::Engine* engine = nullptr)
       : sim_(&sim), engine_(engine), table_(sim) {}
 
+  /// Pre-size the resolution table for a store that will never exceed
+  /// `max_rows` rows (day-loop zero-alloc contract).
+  void reserve(std::size_t max_rows) { table_.reserve(max_rows); }
+
   /// Bring the resolution table up to date with `store`: re-resolve
   /// rotation-epoch crossings among existing rows, then resolve and
   /// append the rows added since the last sync (the DayDelta suffix).

@@ -94,6 +94,16 @@ class ScanFrame {
   probe::ScanReport to_report() const;
 
   // ---- producer surface (ScanEngine / the legacy adapters) --------
+  /// Pre-size both columns for `max_rows` rows. Without it, a frame
+  /// over a still-growing row space re-reaches capacity on every
+  /// growth day (assign/resize grow exactly to the requested size);
+  /// the day loop reserves the campaign bound up front instead
+  /// (zero-alloc contract).
+  void reserve(std::size_t max_rows) {
+    masks_.reserve(max_rows);
+    rows_.reserve(max_rows);
+  }
+
   /// Start a new fill: zero `row_count` masks, drop the admitted rows
   /// and tallies, borrow `addrs` for row-aligned address lookup.
   /// Capacity is retained, so refilling at steady state allocates

@@ -83,6 +83,29 @@ SourceSimulator::SourceSimulator(const netsim::Universe& universe,
       }
     }
   }
+  // Pre-size every accumulator to its campaign-final count: the daily
+  // draw target is final_count * growth_fraction <= final_count, so a
+  // warm collect never grows a container (day-loop zero-alloc
+  // contract). One shared draw/result scratch covers the largest
+  // single source.
+  std::size_t max_final = 0;
+  for (std::size_t s = 0; s < netsim::kAllSources.size(); ++s) {
+    const auto cap =
+        static_cast<std::size_t>(final_count(netsim::kAllSources[s]));
+    states_[s].seen.reserve(cap);
+    states_[s].cumulative.reserve(cap);
+    max_final = std::max(max_final, cap);
+  }
+  drawn_.reserve(max_final);
+  result_.new_addresses.reserve(max_final);
+}
+
+std::size_t SourceSimulator::max_unique_addresses() const {
+  std::size_t total = 0;
+  for (const auto source : netsim::kAllSources) {
+    total += static_cast<std::size_t>(final_count(source));
+  }
+  return total;
 }
 
 std::uint64_t SourceSimulator::final_count(SourceId source) const {
@@ -125,8 +148,9 @@ const Zone& SourceSimulator::pick_zone(const Pool& pool, std::uint64_t r) const 
   return universe_->zones()[pool.zones[index]];
 }
 
-CollectResult SourceSimulator::collect(SourceId source, int day) {
-  return collect(source, day, {});
+const CollectResult& SourceSimulator::collect(SourceId source, int day) {
+  static const std::vector<Address> kNoTargets;
+  return collect(source, day, kNoTargets);
 }
 
 Address SourceSimulator::draw(SourceId source, std::uint64_t src_key,
@@ -146,15 +170,15 @@ Address SourceSimulator::draw(SourceId source, std::uint64_t src_key,
   return zone.discoverable_address(index, day);
 }
 
-CollectResult SourceSimulator::collect(SourceId source, int day,
-                                       const std::vector<Address>& targets) {
+const CollectResult& SourceSimulator::collect(
+    SourceId source, int day, const std::vector<Address>& targets) {
   const auto s = static_cast<std::size_t>(source);
   State& state = states_[s];
   const auto src_key = hash64(universe_->params().seed, s, 0x50C);
   const auto target_count = static_cast<std::uint64_t>(std::llround(
       static_cast<double>(final_count(source)) * growth_fraction(source, day)));
 
-  CollectResult result;
+  result_.new_addresses.clear();
   const bool path_discovery =
       source == SourceId::kScamper && !targets.empty();
   if (state.drawn < target_count) {
@@ -163,10 +187,12 @@ CollectResult SourceSimulator::collect(SourceId source, int day,
     // Draws are pure in the draw index, so they run batched on the
     // engine; the first-seen dedup below must stay serial in draw
     // order to keep the hitlist order identical to the serial path.
-    std::vector<Address> drawn(count);
+    drawn_.clear();
+    drawn_.resize(count);
     auto fill = [&](std::size_t begin, std::size_t end) {
       for (std::size_t k = begin; k < end; ++k) {
-        drawn[k] = draw(source, src_key, first + k, day, path_discovery, targets);
+        drawn_[k] =
+            draw(source, src_key, first + k, day, path_discovery, targets);
       }
     };
     if (engine_ != nullptr && engine_->parallel()) {
@@ -175,18 +201,16 @@ CollectResult SourceSimulator::collect(SourceId source, int day,
       fill(0, count);
     }
     state.drawn = target_count;
-    state.seen.reserve(static_cast<std::size_t>(target_count));
-    state.cumulative.reserve(static_cast<std::size_t>(target_count));
-    for (const auto& a : drawn) {
-      if (state.seen.insert(a).second) {
+    for (const auto& a : drawn_) {
+      if (state.seen.insert(a)) {
         state.cumulative.push_back(a);
-        result.new_addresses.push_back(a);
+        result_.new_addresses.push_back(a);
       }
     }
   }
-  result.cumulative_count = state.cumulative.size();
+  result_.cumulative_count = state.cumulative.size();
   (void)sim_;
-  return result;
+  return result_;
 }
 
 }  // namespace v6h::sources

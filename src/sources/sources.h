@@ -4,10 +4,15 @@
 // addresses over the campaign with its own growth curve and AS bias
 // (domain lists and CT live almost entirely inside one CDN AS, Atlas
 // is balanced, scamper trawls ISP space along traceroute paths).
+//
+// Steady-state allocation discipline: per-source capacity is bounded
+// by final_count (growth fractions never exceed 1), so the
+// constructor pre-sizes every accumulator to its campaign-final size
+// and collect() fills reused scratch — a warm collect allocates
+// nothing, which the day loop's zero-alloc contract depends on.
 
 #include <array>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "engine/engine.h"
@@ -15,6 +20,7 @@
 #include "netsim/network_sim.h"
 #include "netsim/source_id.h"
 #include "netsim/universe.h"
+#include "util/flat_hash.h"
 
 namespace v6h::sources {
 
@@ -33,22 +39,29 @@ class SourceSimulator {
   /// pure function of (source key, draw index, day), so with an
   /// engine attached the draws run batched on the workers while the
   /// first-seen dedup stays serial in draw order — output identical
-  /// for any thread count.
-  CollectResult collect(netsim::SourceId source, int day);
+  /// for any thread count. The returned reference is a reused scratch
+  /// member: valid until the next collect call, so consume (or copy)
+  /// it before collecting the next source.
+  const CollectResult& collect(netsim::SourceId source, int day);
 
   /// Scamper overload: traceroute targets seed extra router-side
   /// discoveries near existing hitlist addresses.
-  CollectResult collect(netsim::SourceId source, int day,
-                        const std::vector<ipv6::Address>& targets);
+  const CollectResult& collect(netsim::SourceId source, int day,
+                               const std::vector<ipv6::Address>& targets);
 
   const std::vector<ipv6::Address>& cumulative(netsim::SourceId source) const {
     return states_[static_cast<std::size_t>(source)].cumulative;
   }
 
+  /// Upper bound on unique addresses this simulator can ever emit
+  /// (sum of campaign-final per-source counts). Downstream stages use
+  /// it to pre-size their own accumulators.
+  std::size_t max_unique_addresses() const;
+
  private:
   struct State {
     std::vector<ipv6::Address> cumulative;
-    std::unordered_set<ipv6::Address, ipv6::AddressHash> seen;
+    util::FlatSet<ipv6::Address, ipv6::AddressHash> seen;
     std::uint64_t drawn = 0;
   };
 
@@ -70,6 +83,12 @@ class SourceSimulator {
   engine::Engine* engine_;
   std::array<State, netsim::kAllSources.size()> states_;
   std::array<Pool, netsim::kAllSources.size()> pools_;
+  // Per-collect scratch, reused across calls (capacity pre-sized to
+  // the campaign-final draw count in the constructor). Workers write
+  // disjoint index-addressed slots of drawn_ between the dispatch and
+  // the pool barrier; result_ is coordinator-only.
+  std::vector<ipv6::Address> drawn_;
+  CollectResult result_;
 };
 
 }  // namespace v6h::sources

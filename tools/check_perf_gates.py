@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI perf gates over the longitudinal bench artifacts (ISSUE 8).
+
+Compares a fresh bench run against the repo's committed baselines and
+hard-fails the perf-smoke job on:
+
+ * a nonzero steady-state allocation count — BENCH_frame.json's frame
+   `allocs` series must be exactly zero on every day after the first
+   (day 1 absorbs the process cold start; every later day, verdict
+   flips included, runs the allocation-free warm loop the
+   counting-allocator test pins at small scale), and
+
+ * a resolved-scan cost regression — the fresh
+   `resolved_ns_per_probe` may not exceed the committed baseline by
+   more than --tolerance (default 20%). Per-probe normalization keeps
+   the number comparable across machines of the same class; the
+   generous tolerance absorbs the rest of the hardware delta while
+   still catching a kernel that quietly fell back to scalar code
+   (a ~2.5x jump).
+
+Usage: check_perf_gates.py --fresh bench-out [--baseline repo-root]
+Exit: 0 when all gates hold, 1 on violation, 2 on missing artifacts.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"check_perf_gates: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="directory with the fresh BENCH_*.json run")
+    parser.add_argument("--baseline", default=".",
+                        help="directory with the committed baselines")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional resolved_ns regression")
+    args = parser.parse_args()
+
+    fresh_scan = load(Path(args.fresh) / "BENCH_scan.json")
+    base_scan = load(Path(args.baseline) / "BENCH_scan.json")
+    fresh_frame = load(Path(args.fresh) / "BENCH_frame.json")
+
+    failures = 0
+
+    allocs = fresh_frame.get("frame", {}).get("allocs", [])
+    if not allocs:
+        print("check_perf_gates: BENCH_frame.json has no frame allocs series",
+              file=sys.stderr)
+        failures += 1
+    for day, count in enumerate(allocs[1:], start=2):
+        if count != 0:
+            print(f"check_perf_gates: frame-path day {day} allocated "
+                  f"{count} times; warm run_day days must be allocation-free",
+                  file=sys.stderr)
+            failures += 1
+
+    fresh_ns = fresh_scan.get("resolved_ns_per_probe", 0.0)
+    base_ns = base_scan.get("resolved_ns_per_probe", 0.0)
+    if fresh_ns <= 0 or base_ns <= 0:
+        print("check_perf_gates: missing resolved_ns_per_probe "
+              f"(fresh={fresh_ns}, baseline={base_ns})", file=sys.stderr)
+        failures += 1
+    elif fresh_ns > base_ns * (1.0 + args.tolerance):
+        print(f"check_perf_gates: resolved scan regressed: {fresh_ns:.2f} "
+              f"ns/probe vs committed {base_ns:.2f} (+{args.tolerance:.0%} "
+              "allowed)", file=sys.stderr)
+        failures += 1
+    else:
+        print(f"check_perf_gates: resolved {fresh_ns:.2f} ns/probe vs "
+              f"baseline {base_ns:.2f} — OK")
+
+    if failures:
+        print(f"check_perf_gates: {failures} gate violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_perf_gates: all gates hold "
+          f"({len(allocs)} frame days, scan within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Static no-allocation lint for the steady-state scan hot path.
+"""Static no-allocation lint for the steady-state day loop.
 
 PR 5 made the daily scan zero-allocation at steady state and enforces
 it at runtime with a counting allocator (tests/test_scan_frame.cpp) —
 but a runtime test only sees the inputs it runs. This lint makes the
 complementary *static* claim on every build: walking the machine-code
-call graph from the hot-path roots (ScanEngine::scan_store, the
-ScanFrame refill surface, NetworkSim::probe_resolved_mask,
-TargetStore::unaliased_rows), no path reaches operator new / malloc
-except through an explicit allowlist.
+call graph from the hot-path roots, no path reaches operator new /
+malloc except through an explicit allowlist. The roots now cover the
+WHOLE warm day (Pipeline::run_day and the stage entry points it fans
+out to — SourceSimulator::collect, CandidateCounter::add_addresses,
+AliasDetector::run_day_on_prefixes, TargetStore::insert — plus the
+scan surface: ScanEngine::scan_store, the ScanFrame refill surface,
+NetworkSim::probe_resolved_mask, TargetStore::unaliased_rows), so a
+new std::string or node-container insert anywhere in the day loop
+fails the build, not just the scan tail.
 
 How it works
 ------------
@@ -34,10 +39,25 @@ Allowed to allocate, and therefore CUT from the traversal:
    exists (no std::string, no node containers, no make_unique, no
    bare new), the runtime test proves the vector routes go quiet.
 
- * v6h::scan::(anonymous namespace)::run_scan_parallel — the engine
-   dispatch, whose std::function capture spill is the documented
-   remaining allocation of the *parallel* scan path (ROADMAP item 1).
-   The serial steady-state path never enters it.
+ * The project's own capacity-elastic growth members, under the same
+   policy: FlatMap/FlatSet::rehash (the flat tables' ONLY allocation
+   site — grow() and reserve() both route through it) and
+   PrefixTrie::reserve/grow_values (the trie value deque's only push
+   sites; a reserve()d trie pops its freelist instead). Only the
+   named growth member is cut: an unexpected allocation anywhere
+   else in those containers still trips.
+
+ * Pipeline's cold rebuild hatches (rebuild_candidates,
+   rebuild_filter, legacy_scan_day), passed as --allow next to the
+   root declarations in CMakeLists: run_day calls them only on
+   construction-adjacent or explicitly legacy configurations, never
+   in the warm steady state — the counting-allocator test
+   (tests/test_day_alloc.cpp) is what proves they stay cold.
+
+The std::function capture spill of the parallel scan dispatch
+(run_scan_parallel) used to be allowlisted here; the FunctionRef
+rework removed the spill, so the entry is gone and a reintroduced
+capture allocation now fails the lint.
 
 Known limits: indirect calls (ResultSink's virtual dispatch, function
 pointers) are not walked — sinks are consumer-owned code outside the
@@ -76,9 +96,11 @@ DEFAULT_ALLOWLIST = [
     r"fill_assign|fill_insert|assign_aux|range_insert|insert_aux|"
     r"emplace_back_aux|append)\s*[<(]",
     r"\bstd::vector<.*>::reserve\(",
-    # Engine dispatch of the parallel scan (std::function capture
-    # spill); the serial steady-state path never reaches it.
-    r"^v6h::scan::\(anonymous namespace\)::run_scan_parallel\(",
+    # The project's own capacity-elastic growth members (see the
+    # policy block above). Template members demangle with a leading
+    # return type, hence \b anchors.
+    r"\bv6h::util::Flat(Map|Set)<.*>::rehash\(",
+    r"\bv6h::ipv6::PrefixTrie<.*>::(reserve|grow_values)\(",
 ]
 
 FUNC_RE = re.compile(r"^[0-9a-f]+ <([^>]+)>:$")
