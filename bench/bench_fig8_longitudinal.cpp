@@ -21,8 +21,10 @@
 // baselines need icmp).
 
 #include <chrono>
+#include <memory>
 
 #include "bench_common.h"
+#include "obs/obs.h"
 #include "probe/scanner.h"
 #include "scan/scan_engine.h"
 // Replaces global operator new with the shared counting version the
@@ -71,13 +73,35 @@ struct DaySeries {
   }
 };
 
+// Streams each day's registry-merged telemetry into the bench series:
+// with observability on, BENCH_pipeline/BENCH_frame numbers come FROM
+// the shared registry (one telemetry schema for gates and benches)
+// instead of ad-hoc locals. Vectors are pre-reserved by the caller, so
+// on_day never allocates inside an audited window.
+struct SeriesSink final : obs::TelemetrySink {
+  DaySeries* series = nullptr;
+  void on_day(const obs::DayTelemetry& t) override {
+    series->day_ms.push_back(t.day_ms);
+    series->new_addresses.push_back(static_cast<std::size_t>(t.new_addresses));
+    series->scanned_targets.push_back(
+        static_cast<std::size_t>(t.scanned_targets));
+    series->probes.push_back(t.probes);
+    series->allocs.push_back(t.allocs);
+  }
+};
+
 // Run the day loop of `pipeline` (days ending at the horizon), timing
 // each run_day + result consumption and recording the per-day probe
-// and allocation deltas. `materialize` consumes each day through the
-// ScanFrame::to_report() adapter (the pre-frame cost profile);
-// otherwise the borrowed frame is read in place.
+// and allocation deltas. With `obs` attached the per-day numbers
+// stream from the metrics registry through a TelemetrySink (run_day's
+// own day_ms/new_addresses/probes/allocs); --obs-off falls back to
+// the historical hand-timed locals, which is also the obs-overhead
+// baseline the perf gate compares against. `materialize` consumes
+// each day through the ScanFrame::to_report() adapter (the pre-frame
+// cost profile); otherwise the borrowed frame is read in place.
 DaySeries run_timed_days(hitlist::Pipeline& pipeline, netsim::NetworkSim& sim,
-                         const bench::BenchArgs& args, bool materialize) {
+                         const bench::BenchArgs& args, bool materialize,
+                         obs::Observability* obs) {
   DaySeries series;
   // Pre-size the bench's own per-day series: their geometric growth
   // would otherwise land inside the measured allocation windows below
@@ -89,11 +113,15 @@ DaySeries run_timed_days(hitlist::Pipeline& pipeline, netsim::NetworkSim& sim,
   series.probes.reserve(days);
   series.allocs.reserve(days);
   series.consume_allocs.reserve(days);
+  SeriesSink sink;
+  sink.series = &series;
+  if (obs != nullptr) obs->set_sink(&sink);
   std::uint64_t probes_before = sim.probes_sent();
   for (int i = args.days - 1; i >= 0; --i) {
     const std::uint64_t allocs_before = util::allocation_count();
     const auto start = std::chrono::steady_clock::now();
     const auto report = pipeline.run_day(args.horizon - i);
+    const auto mid = std::chrono::steady_clock::now();
     const std::uint64_t consume_before = util::allocation_count();
     if (materialize) {
       const auto copy = report.scan().to_report();
@@ -103,14 +131,24 @@ DaySeries run_timed_days(hitlist::Pipeline& pipeline, netsim::NetworkSim& sim,
     }
     series.consume_allocs.push_back(util::allocation_count() - consume_before);
     const auto stop = std::chrono::steady_clock::now();
-    series.day_ms.push_back(
-        std::chrono::duration<double, std::milli>(stop - start).count());
-    series.new_addresses.push_back(report.new_addresses);
-    series.scanned_targets.push_back(report.scanned_targets);
-    series.probes.push_back(sim.probes_sent() - probes_before);
+    if (obs != nullptr) {
+      // run_day already streamed this day's entries through the sink;
+      // fold in the result-consumption step (serial, outside run_day)
+      // so the series keep their whole-day semantics.
+      series.day_ms.back() +=
+          std::chrono::duration<double, std::milli>(stop - mid).count();
+      series.allocs.back() += series.consume_allocs.back();
+    } else {
+      series.day_ms.push_back(
+          std::chrono::duration<double, std::milli>(stop - start).count());
+      series.new_addresses.push_back(report.new_addresses);
+      series.scanned_targets.push_back(report.scanned_targets);
+      series.probes.push_back(sim.probes_sent() - probes_before);
+      series.allocs.push_back(util::allocation_count() - allocs_before);
+    }
     probes_before = sim.probes_sent();
-    series.allocs.push_back(util::allocation_count() - allocs_before);
   }
+  if (obs != nullptr) obs->set_sink(nullptr);
   return series;
 }
 
@@ -155,6 +193,33 @@ int main(int argc, char** argv) {
   bench::header("Figure 8: 14-day responsiveness by source (baseline = day-0 responders)");
 
   auto eng = args.make_engine();
+
+  // One Observability instance shared by the warm-up and all three
+  // timed pipelines: the engine records into it from every run, and
+  // the BENCH series below stream from its registry. --obs-off keeps
+  // obs null everywhere, which is the overhead-gate baseline.
+  std::unique_ptr<obs::Observability> observability;
+  if (!args.obs_off) {
+    obs::ObsOptions obs_options;
+    obs_options.tracing = !args.trace_path.empty();
+    // Ring sized for the whole multi-pipeline run: ~(stage spans +
+    // pool_run sweeps + day counters) per day, x4 pipelines x the day
+    // count — 64k events (2 MB) covers the default 30-day bench with
+    // room to spare; overflow drops tail events and is reported in
+    // the trace footer rather than corrupting earlier spans.
+    obs_options.trace_capacity = 1u << 16;
+    observability = std::make_unique<obs::Observability>(
+        obs_options, eng.threads());
+    observability->set_alloc_probe(&util::allocation_count);
+    eng.set_observability(observability.get());
+  }
+  obs::Observability* obs = observability.get();
+  auto pipeline_options = [&] {
+    auto options = args.pipeline_options();
+    options.obs = obs;
+    return options;
+  };
+
   const netsim::Universe universe(args.universe_params(), &eng);
 
   // Untimed warm-up pipeline: whichever timed series runs first would
@@ -162,11 +227,12 @@ int main(int argc, char** argv) {
   // faults, lazy PLT binding, cold icache/branch predictors) and the
   // mode comparisons below would measure run order, not the modes.
   // A few days through a throwaway pipeline pre-faults the arena the
-  // allocator then recycles for every timed run.
+  // allocator then recycles for every timed run. It runs with obs
+  // attached (no sink) so the instrumented code paths warm up too.
   {
     netsim::NetworkSim warm_sim(universe);
-    hitlist::Pipeline warm_pipeline(universe, warm_sim,
-                                    args.pipeline_options(), &eng);
+    hitlist::Pipeline warm_pipeline(universe, warm_sim, pipeline_options(),
+                                    &eng);
     const int warm_days = std::min(args.days, 4);
     for (int i = warm_days - 1; i >= 0; --i) {
       (void)warm_pipeline.run_day(args.horizon - i);
@@ -174,27 +240,27 @@ int main(int argc, char** argv) {
   }
 
   netsim::NetworkSim sim(universe);
-  hitlist::Pipeline pipeline(universe, sim, args.pipeline_options(), &eng);
+  hitlist::Pipeline pipeline(universe, sim, pipeline_options(), &eng);
   const DaySeries primary =
-      run_timed_days(pipeline, sim, args, args.legacy_report);
+      run_timed_days(pipeline, sim, args, args.legacy_report, obs);
 
   // The other mode over the same days, as the perf baseline pair:
   // incremental vs full rebuild, byte-identical output by contract.
-  hitlist::PipelineOptions other_options = args.pipeline_options();
+  hitlist::PipelineOptions other_options = pipeline_options();
   other_options.rebuild_each_day = !args.rebuild_each_day;
   netsim::NetworkSim other_sim(universe);
   hitlist::Pipeline other_pipeline(universe, other_sim, other_options, &eng);
   const DaySeries other =
-      run_timed_days(other_pipeline, other_sim, args, args.legacy_report);
+      run_timed_days(other_pipeline, other_sim, args, args.legacy_report, obs);
 
   // Result-consumption pair: the same pipeline config as `primary`,
   // consumed through the opposite result surface (reusable frame vs
   // the materializing to_report() adapter), for BENCH_frame.json.
   netsim::NetworkSim adapter_sim(universe);
-  hitlist::Pipeline adapter_pipeline(universe, adapter_sim,
-                                     args.pipeline_options(), &eng);
-  const DaySeries consumption_other =
-      run_timed_days(adapter_pipeline, adapter_sim, args, !args.legacy_report);
+  hitlist::Pipeline adapter_pipeline(universe, adapter_sim, pipeline_options(),
+                                     &eng);
+  const DaySeries consumption_other = run_timed_days(
+      adapter_pipeline, adapter_sim, args, !args.legacy_report, obs);
 
   {
     const DaySeries& incremental = args.rebuild_each_day ? other : primary;
@@ -460,5 +526,23 @@ int main(int argc, char** argv) {
   bench::note("\nShape checks: server sources (DL/FDNS/CT/AXFR/Atlas) lose only a");
   bench::note("few percent over two weeks; Bitnodes ~20 % and scamper (CPE) ~32 %;");
   bench::note("CT/AXFR QUIC rates fluctuate day to day (QUIC test deployments).");
+
+  if (obs != nullptr) {
+    if (!args.trace_path.empty()) {
+      bench::write_file(args.trace_path, obs->trace_json());
+      std::printf("  trace: %zu events (%llu dropped) -> %s\n",
+                  obs->ring().size(),
+                  static_cast<unsigned long long>(obs->ring().dropped()),
+                  args.trace_path.c_str());
+    }
+    if (!args.metrics_path.empty()) {
+      bench::write_file(args.metrics_path, obs->metrics_json());
+      std::printf("  metrics: %zu series -> %s\n",
+                  obs->registry().metric_count(), args.metrics_path.c_str());
+    }
+    // The engine outlives `observability` (declared first in main), so
+    // detach before either unwinds.
+    eng.set_observability(nullptr);
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "scan/scan_engine.h"
 #include "scan/scan_frame.h"
 #include "util/rng.h"
@@ -156,6 +157,10 @@ PrefixOutcome AliasDetector::probe_prefix(const Prefix& prefix, int day) {
 void AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixes,
                                         int day, scan::ResultSink* sink,
                                         DayOutcome& out) {
+  // Covers the fan-out probes AND the serial window merge; purely
+  // observational (lane-local stores + clock reads), so verdicts are
+  // identical with obs_ attached or null.
+  obs::StageSpan span(obs_, obs::Stage::kApd);
   out.clear();
   const std::size_t n = prefixes.size();
   outcomes_.clear();
@@ -199,6 +204,9 @@ void AliasDetector::run_day_on_prefixes(const std::vector<Prefix>& prefixes,
     if (sink != nullptr) {
       sink->on_fanout(prefix, outcomes_[i].responded, current);
     }
+  }
+  if (obs_ != nullptr) {
+    obs_->registry().add(obs_->core().apd_probes, out.probes);
   }
 }
 

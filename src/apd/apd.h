@@ -34,6 +34,10 @@ class ResultSink;
 class ScanEngine;
 }  // namespace v6h::scan
 
+namespace v6h::obs {
+class Observability;
+}  // namespace v6h::obs
+
 namespace v6h::apd {
 
 struct ApdOptions {
@@ -191,6 +195,12 @@ class AliasDetector {
     scan_engine_ = scan_engine;
   }
 
+  /// Attach (or detach with nullptr) the observability layer: each
+  /// run_day_on_prefixes batch gets an "apd_fanout" stage span and
+  /// feeds the pipeline.apd_probes counter. Borrowed; never affects
+  /// verdicts.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
   /// Pre-size the per-prefix verdict table (day-loop zero-alloc
   /// contract; see CandidateCounter::reserve_for).
   void reserve_prefixes(std::size_t max_prefixes);
@@ -244,6 +254,7 @@ class AliasDetector {
   ApdOptions options_;
   engine::Engine* engine_;
   scan::ScanEngine* scan_engine_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   util::FlatMap<ipv6::Prefix, VerdictState, ipv6::PrefixHash> state_;
   // Per-day scratch, reused across calls. Workers write disjoint
   // index-addressed outcomes_[i] between dispatch and the pool

@@ -17,7 +17,20 @@
 #include "engine/thread_pool.h"
 #include "util/function_ref.h"
 
+namespace v6h::obs {
+class Observability;
+}  // namespace v6h::obs
+
 namespace v6h::engine {
+
+/// Hard ceiling on chunks per parallel_for sweep. The chunk count is
+/// derived from the range size and the worker count (~8 stealable
+/// chunks per worker), then clamped here so a huge range on a huge
+/// machine cannot explode the per-sweep scheduling work; the pool
+/// itself handles far larger task counts (>= 1e5, regression-tested in
+/// tests/test_engine_chunks.cpp) via batched per-queue enqueue, so the
+/// ceiling is a scheduling-overhead bound, not a correctness limit.
+inline constexpr std::size_t kMaxChunksPerSweep = 4096;
 
 struct EngineOptions {
   /// Worker count; 0 picks hardware concurrency, 1 is strictly serial.
@@ -30,6 +43,13 @@ class Engine {
 
   unsigned threads() const { return threads_; }
   bool parallel() const { return pool_ != nullptr; }
+
+  /// Attach (or detach with nullptr) the observability layer: sweep
+  /// dispatches record chunk telemetry and a "pool_run" span, and pool
+  /// workers count executed/stolen tasks. Call only between runs (the
+  /// harness owns the ordering); the engine never owns the object and
+  /// must be detached before it is destroyed.
+  void set_observability(obs::Observability* obs);
 
   /// fn(begin, end) over disjoint chunks covering [0, n). Chunks land
   /// on all workers via work-stealing; with one thread (or n <= grain)
@@ -69,6 +89,7 @@ class Engine {
 
   unsigned threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+  obs::Observability* obs_ = nullptr;  // borrowed; set between runs
 };
 
 }  // namespace v6h::engine

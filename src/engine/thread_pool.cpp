@@ -1,5 +1,7 @@
 #include "engine/thread_pool.h"
 
+#include "obs/obs.h"
+
 namespace v6h::engine {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -26,6 +28,7 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::run_one(unsigned self) {
   std::size_t index = 0;
   bool found = false;
+  bool stolen = false;
   {
     Queue& own = *queues_[self];
     util::MutexLock lock(own.mu);
@@ -41,9 +44,17 @@ bool ThreadPool::run_one(unsigned self) {
       index = victim.tasks.back();  // steal from the cold end
       victim.tasks.pop_back();
       found = true;
+      stolen = true;
     }
   }
   if (!found) return false;
+  if (obs::Observability* obs = obs_.load(std::memory_order_relaxed)) {
+    // Lane-local relaxed stores (this thread claimed its lane at
+    // spawn); nondeterministic by nature — which worker runs or steals
+    // an index is scheduling-dependent.
+    obs->registry().add(obs->core().pool_tasks, 1);
+    if (stolen) obs->registry().add(obs->core().pool_steals, 1);
+  }
   // Any thread holding an index owns one dereference of task_: the
   // acquire pairs with run()'s release store, and run() cannot null
   // the pointer before remaining_ (decremented below, after the call)
@@ -60,6 +71,11 @@ bool ThreadPool::run_one(unsigned self) {
 }
 
 void ThreadPool::worker_loop(unsigned self) {
+  // Claim this thread's observability lane (the coordinator keeps the
+  // default lane 0): metric updates and trace tids key off it, and the
+  // one-writer-per-lane invariant of obs::Registry depends on slots
+  // being distinct per pool thread.
+  obs::set_lane(self);
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -88,8 +104,14 @@ void ThreadPool::run(std::size_t count,
   // publishing its address is safe.
   task_.store(&task, std::memory_order_release);
   remaining_.store(count, std::memory_order_release);
-  for (std::size_t i = 0; i < count; ++i) {
-    Queue& queue = *queues_[i % queues_.size()];
+  // Deal indices round-robin (index i lands on queue i % N, ascending
+  // within each queue — identical placement to the historical
+  // one-index-per-lock loop) but take each queue's mutex ONCE: at
+  // >= 1e5 tasks per sweep the per-index locking dominated enqueue
+  // cost (tests/test_engine_chunks.cpp regression-tests this scale).
+  const std::size_t queue_count = queues_.size();
+  for (std::size_t q = 0; q < queue_count && q < count; ++q) {
+    Queue& queue = *queues_[q];
     util::MutexLock lock(queue.mu);
     if (queue.head == queue.tasks.size()) {
       // Previous epoch fully drained: recycle the ring in place. Safe
@@ -98,7 +120,9 @@ void ThreadPool::run(std::size_t count,
       queue.tasks.clear();
       queue.head = 0;
     }
-    queue.tasks.push_back(i);
+    for (std::size_t i = q; i < count; i += queue_count) {
+      queue.tasks.push_back(i);
+    }
   }
   {
     util::MutexLock lock(mu_);

@@ -31,6 +31,10 @@
 #include "util/function_ref.h"
 #include "util/thread_annotations.h"
 
+namespace v6h::obs {
+class Observability;
+}  // namespace v6h::obs
+
 namespace v6h::engine {
 
 class ThreadPool {
@@ -39,6 +43,14 @@ class ThreadPool {
   ~ThreadPool();
 
   unsigned threads() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// Attach (or detach with nullptr) the observability layer; workers
+  /// then count executed and stolen tasks into their own metric lanes.
+  /// Called between runs only; relaxed is enough because run()'s
+  /// publication/barrier protocol orders it for the workers.
+  void set_observability(obs::Observability* obs) {
+    obs_.store(obs, std::memory_order_relaxed);
+  }
 
   /// Execute task(0) .. task(count - 1) across all workers and return
   /// once every call has finished. Which worker runs which index is
@@ -78,6 +90,10 @@ class ThreadPool {
   util::Mutex mu_;
   util::CondVar wake_;
   util::CondVar done_;
+  // Observability hook; null when disabled. Relaxed everywhere: it
+  // only changes between runs, and the run() protocol already orders
+  // those edges for the workers.
+  std::atomic<obs::Observability*> obs_{nullptr};
   std::uint64_t epoch_ V6H_GUARDED_BY(mu_) = 0;
   bool stop_ V6H_GUARDED_BY(mu_) = false;
   bool inside_run_ = false;  // caller-thread only, never shared

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace v6h::hitlist {
 
 using ipv6::Address;
@@ -97,12 +99,19 @@ Pipeline::Pipeline(const netsim::Universe& universe, netsim::NetworkSim& sim,
     : universe_(&universe),
       options_(std::move(options)),
       engine_(engine),
+      sim_(&sim),
+      obs_(options_.obs),
       sources_(universe, sim, engine),
       detector_(sim, options_.apd, engine),
       counter_(universe.bgp(), options_.apd.min_targets, engine),
       scanner_(sim, engine),
       scan_engine_(sim, engine) {
   if (!options_.legacy_scan) detector_.set_scan_engine(&scan_engine_);
+  // Stage-level instrumentation inside the scan engine and the APD
+  // fan-out; registry storage was allocated when the Observability
+  // was constructed, so attaching it here allocates nothing.
+  scan_engine_.set_observability(obs_);
+  detector_.set_observability(obs_);
   // Front-load every steady-state buffer to its campaign bound. The
   // source simulator can never emit more unique addresses than the
   // sum of its per-source final counts (growth fractions cap at 1),
@@ -149,19 +158,32 @@ void Pipeline::legacy_scan_day(int day, scan::ResultSink* sink) {
   // The legacy probe sweep fills a reusable list-aligned scratch
   // frame; only the masks are re-scattered into the store-aligned
   // frame (no per-day report materialization even on this path).
-  scanner_.scan_legacy(scan_targets, day, scan_options, &legacy_scratch_);
-  const auto& rows = store_.unaliased_rows();
-  frame_.reset(day, store_.addresses().data(), store_.size());
-  frame_.admit(rows.data(), rows.size());
-  net::ProtocolMask* masks = frame_.mutable_masks();
-  const net::ProtocolMask* legacy_masks = legacy_scratch_.masks();
-  for (std::size_t k = 0; k < rows.size(); ++k) {
-    masks[rows[k]] = legacy_masks[k];
+  {
+    obs::StageSpan span(obs_, obs::Stage::kScanProbe);
+    scanner_.scan_legacy(scan_targets, day, scan_options, &legacy_scratch_);
+    const auto& rows = store_.unaliased_rows();
+    frame_.reset(day, store_.addresses().data(), store_.size());
+    frame_.admit(rows.data(), rows.size());
+    net::ProtocolMask* masks = frame_.mutable_masks();
+    const net::ProtocolMask* legacy_masks = legacy_scratch_.masks();
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      masks[rows[k]] = legacy_masks[k];
+    }
   }
+  obs::StageSpan span(obs_, obs::Stage::kFrameFinish);
   frame_.finish(sink);
 }
 
 Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
+  // Observability discipline: spans and counter updates below are
+  // lane-local relaxed stores plus clock reads — no locks, no
+  // allocation, no effect on any pipeline decision — so the DayReport
+  // stream is byte-identical with obs_ attached or null
+  // (tests/test_obs.cpp pins both halves of that contract).
+  if (obs_ != nullptr) obs_->begin_day(day);
+  const std::uint64_t probes_before =
+      obs_ != nullptr ? sim_->probes_sent() : 0;
+
   DayReport report;
   report.day = day;
   delta_.clear();
@@ -172,13 +194,16 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   // scamper source traceroutes toward the hitlist so far. The
   // first-seen dedup stays serial in draw order (TargetStore::insert),
   // so row order is identical for any thread count.
-  for (const auto source : netsim::kAllSources) {
-    const auto& result =
-        source == netsim::SourceId::kScamper
-            ? sources_.collect(source, day, store_.addresses())
-            : sources_.collect(source, day);
-    for (const auto& a : result.new_addresses) {
-      if (store_.insert(a, day)) ++report.new_addresses;
+  {
+    obs::StageSpan span(obs_, obs::Stage::kCollect);
+    for (const auto source : netsim::kAllSources) {
+      const auto& result =
+          source == netsim::SourceId::kScamper
+              ? sources_.collect(source, day, store_.addresses())
+              : sources_.collect(source, day);
+      for (const auto& a : result.new_addresses) {
+        if (store_.insert(a, day)) ++report.new_addresses;
+      }
     }
   }
   delta_.row_count = static_cast<std::uint32_t>(store_.size());
@@ -190,11 +215,14 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   // byte-identical: the windowed verdict of a prefix depends on its
   // full daily probe history.
   std::vector<Prefix> recounted;
-  if (options_.rebuild_each_day) {
-    recounted = rebuild_candidates();
-  } else {
-    counter_.add_addresses(store_.addresses().data() + delta_.first_new_row,
-                           delta_.new_addresses());
+  {
+    obs::StageSpan span(obs_, obs::Stage::kCandidates);
+    if (options_.rebuild_each_day) {
+      recounted = rebuild_candidates();
+    } else {
+      counter_.add_addresses(store_.addresses().data() + delta_.first_new_row,
+                             delta_.new_addresses());
+    }
   }
   const auto& candidates =
       options_.rebuild_each_day ? recounted : counter_.candidates();
@@ -205,30 +233,34 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   delta_.became_clean.swap(scratch_.outcome.became_clean);
 
   // 3. Alias filter + per-row verdict flags.
-  if (options_.rebuild_each_day) {
-    rebuild_filter();
-  } else {
-    // Apply the verdict transitions in place, then re-filter exactly
-    // the rows whose answer can have changed: the day's new rows
-    // (all flags start clean) and the members of flipped prefixes —
-    // a row outside every flipped prefix keeps yesterday's longest
-    // match. Overlap between the two sets is harmless: both assign
-    // the same freshly-computed verdict. Removes run first so the
-    // tries' freed value slots feed the inserts (the sets are
-    // disjoint, so the order cannot change the resulting filter).
-    for (const auto& prefix : delta_.became_clean) filter_.remove(prefix);
-    for (const auto& prefix : delta_.became_aliased) filter_.insert(prefix);
-    filter_.is_aliased_many(store_.addresses().data() + delta_.first_new_row,
-                            delta_.new_addresses(), &scratch_.aliased,
-                            engine_);
-    for (std::size_t i = 0; i < scratch_.aliased.size(); ++i) {
-      store_.set_aliased(delta_.first_new_row + i, scratch_.aliased[i] != 0);
-    }
-    scratch_.affected.clear();
-    store_.rows_within_many(delta_.became_aliased, &scratch_.affected);
-    store_.rows_within_many(delta_.became_clean, &scratch_.affected);
-    for (const auto row : scratch_.affected) {
-      store_.set_aliased(row, filter_.is_aliased(store_.address(row)));
+  {
+    obs::StageSpan span(obs_, obs::Stage::kRefilter);
+    if (options_.rebuild_each_day) {
+      rebuild_filter();
+    } else {
+      // Apply the verdict transitions in place, then re-filter exactly
+      // the rows whose answer can have changed: the day's new rows
+      // (all flags start clean) and the members of flipped prefixes —
+      // a row outside every flipped prefix keeps yesterday's longest
+      // match. Overlap between the two sets is harmless: both assign
+      // the same freshly-computed verdict. Removes run first so the
+      // tries' freed value slots feed the inserts (the sets are
+      // disjoint, so the order cannot change the resulting filter).
+      for (const auto& prefix : delta_.became_clean) filter_.remove(prefix);
+      for (const auto& prefix : delta_.became_aliased) filter_.insert(prefix);
+      filter_.is_aliased_many(
+          store_.addresses().data() + delta_.first_new_row,
+          delta_.new_addresses(), &scratch_.aliased, engine_);
+      for (std::size_t i = 0; i < scratch_.aliased.size(); ++i) {
+        store_.set_aliased(delta_.first_new_row + i,
+                           scratch_.aliased[i] != 0);
+      }
+      scratch_.affected.clear();
+      store_.rows_within_many(delta_.became_aliased, &scratch_.affected);
+      store_.rows_within_many(delta_.became_clean, &scratch_.affected);
+      for (const auto row : scratch_.affected) {
+        store_.set_aliased(row, filter_.is_aliased(store_.address(row)));
+      }
     }
   }
   report.aliased_prefixes = filter_.prefixes().size();
@@ -247,6 +279,20 @@ Pipeline::DayReport Pipeline::run_day(int day, scan::ResultSink* sink) {
   }
   report.scanned_targets = frame_.rows().size();
   report.frame = &frame_;
+
+  if (obs_ != nullptr) {
+    // Deterministic day-loop series (coordinator-written: pure
+    // functions of seed + day sequence), then the day close: gauges,
+    // registry shard merge, DayTelemetry to the sink.
+    auto& registry = obs_->registry();
+    const obs::CoreMetrics& core = obs_->core();
+    registry.add(core.new_addresses, report.new_addresses);
+    registry.add(core.scanned_targets, report.scanned_targets);
+    registry.add(core.probes, sim_->probes_sent() - probes_before);
+    registry.set(core.aliased_prefixes, report.aliased_prefixes);
+    registry.set(core.hitlist_rows, store_.size());
+    obs_->end_day(day);
+  }
   return report;
 }
 

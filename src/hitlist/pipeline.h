@@ -44,6 +44,10 @@
 #include "scan/scan_frame.h"
 #include "sources/sources.h"
 
+namespace v6h::obs {
+class Observability;
+}  // namespace v6h::obs
+
 namespace v6h::hitlist {
 
 struct PipelineOptions {
@@ -63,6 +67,13 @@ struct PipelineOptions {
   /// differs (budget and retries need the engine, so only the
   /// schedule's protocol set applies here).
   bool legacy_scan = false;
+  /// Observability layer (borrowed; may be null = disabled, the
+  /// default). When set, run_day wraps every stage in an obs::StageSpan,
+  /// feeds the core day-loop counters/gauges, and closes each day with
+  /// Observability::end_day (registry shard merge + DayTelemetry to the
+  /// attached sink). The DayReport stream is byte-identical either way
+  /// (tests/test_obs.cpp); the object must outlive the pipeline.
+  obs::Observability* obs = nullptr;
 };
 
 /// The APD verdict set as a queryable filter. Prefixes are
@@ -188,6 +199,8 @@ class Pipeline {
   const netsim::Universe* universe_;
   PipelineOptions options_;
   engine::Engine* engine_;
+  netsim::NetworkSim* sim_;          // for the probe-count telemetry
+  obs::Observability* obs_;          // borrowed; null = disabled
   sources::SourceSimulator sources_;
   apd::AliasDetector detector_;
   apd::CandidateCounter counter_;

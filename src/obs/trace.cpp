@@ -1,0 +1,38 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"  // lane()
+
+namespace v6h::obs {
+
+TraceEvent* TraceRing::claim() {
+  const std::size_t slot = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return &events_[slot];
+}
+
+void TraceRing::span(const char* name, std::uint64_t start_ns,
+                     std::uint64_t end_ns) {
+  TraceEvent* e = claim();
+  if (e == nullptr) return;
+  e->name = name;
+  e->ts_ns = start_ns;
+  e->dur_or_value = end_ns - start_ns;
+  e->tid = lane();
+  e->ph = 'X';
+}
+
+void TraceRing::counter(const char* name, std::uint64_t ts_ns,
+                        std::uint64_t value) {
+  TraceEvent* e = claim();
+  if (e == nullptr) return;
+  e->name = name;
+  e->ts_ns = ts_ns;
+  e->dur_or_value = value;
+  e->tid = lane();
+  e->ph = 'C';
+}
+
+}  // namespace v6h::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+// Preallocated trace-event ring for the observability layer.
+//
+// Recording is multi-producer (any engine worker or the coordinator)
+// and allocation-free: a relaxed fetch_add claims a slot in a vector
+// sized once at construction; events past capacity are counted in
+// `dropped` and discarded rather than wrapping, so the exported trace
+// is always the chronological prefix of the run. Event names are
+// borrowed `const char*` literals (the span/stage tables in obs.h),
+// never owned strings — nothing on the record path can allocate.
+//
+// Export (`Observability::trace_json`) renders Chrome trace-event
+// JSON ("X" complete events for spans, "C" counter samples), loadable
+// in Perfetto / chrome://tracing; export is cold and may allocate.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace v6h::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // borrowed literal
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_or_value = 0;  // spans: duration ns; counters: value
+  std::uint32_t tid = 0;           // observability lane of the recorder
+  char ph = 'X';                   // 'X' complete span, 'C' counter
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : events_(capacity) {}
+
+  /// Hot path: claim a slot and fill it, or count a drop. No locks,
+  /// no allocation; safe from any thread.
+  void span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns);
+  void counter(const char* name, std::uint64_t ts_ns, std::uint64_t value);
+
+  std::size_t capacity() const { return events_.size(); }
+  std::size_t size() const {
+    const std::size_t cursor = cursor_.load(std::memory_order_relaxed);
+    return cursor < events_.size() ? cursor : events_.size();
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  const TraceEvent& event(std::size_t i) const { return events_[i]; }
+
+ private:
+  TraceEvent* claim();
+
+  std::vector<TraceEvent> events_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace v6h::obs

@@ -1,5 +1,7 @@
 #include "scan/scan_engine.h"
 
+#include "obs/obs.h"
+
 namespace v6h::scan {
 
 using ipv6::Address;
@@ -69,25 +71,32 @@ void probe_chunk(netsim::NetworkSim& sim, const ResolvedColumns& cols,
 // Workers share `masks` without a lock; every probe scatters to its
 // own row and admitted rows are unique, so writes are disjoint and
 // the pool's run() barrier is the release point the serial finish
-// pass reads behind.
+// pass reads behind. The two halves carry distinct stage spans
+// ("scan_probe" / "frame_finish") so the trace separates probe cost
+// from result-completion cost.
 void run_scan(netsim::NetworkSim& sim, engine::Engine* engine,
-              const ResolvedColumns& cols, int day,
+              obs::Observability* obs, const ResolvedColumns& cols, int day,
               const ProbeSchedule& schedule, ScanFrame* frame,
               ResultSink* sink) {
-  const auto& rows = frame->rows();
-  net::ProtocolMask* masks = frame->mutable_masks();
-  if (engine != nullptr && engine->parallel()) {
-    run_scan_parallel(sim, *engine, cols, rows.data(), rows.size(), masks, day,
-                      schedule);
-  } else {
-    probe_chunk(sim, cols, rows.data(), masks, rows.size(), day, schedule);
+  {
+    obs::StageSpan span(obs, obs::Stage::kScanProbe);
+    const auto& rows = frame->rows();
+    net::ProtocolMask* masks = frame->mutable_masks();
+    if (engine != nullptr && engine->parallel()) {
+      run_scan_parallel(sim, *engine, cols, rows.data(), rows.size(), masks,
+                        day, schedule);
+    } else {
+      probe_chunk(sim, cols, rows.data(), masks, rows.size(), day, schedule);
+    }
   }
+  obs::StageSpan span(obs, obs::Stage::kFrameFinish);
   frame->finish(sink);
 }
 
 }  // namespace
 
 void ScanEngine::sync(const hitlist::TargetStore& store, int day) {
+  obs::StageSpan span(obs_, obs::Stage::kScanSync);
   const Address* addrs = store.addresses().data();
   table_.refresh(addrs, day, engine_);
   if (store.size() > table_.size()) {
@@ -102,7 +111,7 @@ void ScanEngine::scan_store(const hitlist::TargetStore& store, int day,
   const auto& rows = store.unaliased_rows();
   frame->reset(day, store.addresses().data(), store.size());
   frame->admit(rows.data(), schedule.admitted_targets(rows.size()));
-  run_scan(*sim_, engine_, table_.columns(), day, schedule, frame, sink);
+  run_scan(*sim_, engine_, obs_, table_.columns(), day, schedule, frame, sink);
 }
 
 void ScanEngine::scan_addresses(const std::vector<Address>& targets, int day,
@@ -113,7 +122,7 @@ void ScanEngine::scan_addresses(const std::vector<Address>& targets, int day,
   table.extend(targets.data(), admitted, day, engine_);
   frame->reset(day, targets.data(), targets.size());
   frame->admit_iota(admitted);
-  run_scan(*sim_, engine_, table.columns(), day, schedule, frame, sink);
+  run_scan(*sim_, engine_, obs_, table.columns(), day, schedule, frame, sink);
 }
 
 unsigned ScanEngine::probe_fanout(const Address* addrs, std::size_t count,

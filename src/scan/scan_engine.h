@@ -27,12 +27,22 @@
 #include "scan/resolved_table.h"
 #include "scan/scan_frame.h"
 
+namespace v6h::obs {
+class Observability;
+}  // namespace v6h::obs
+
 namespace v6h::scan {
 
 class ScanEngine {
  public:
   explicit ScanEngine(netsim::NetworkSim& sim, engine::Engine* engine = nullptr)
       : sim_(&sim), engine_(engine), table_(sim) {}
+
+  /// Attach (or detach with nullptr) the observability layer: sync,
+  /// the probe sweep, and the frame completion pass each get a stage
+  /// span ("scan_sync" / "scan_probe" / "frame_finish"). Borrowed;
+  /// never affects scan output.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
 
   /// Pre-size the resolution table for a store that will never exceed
   /// `max_rows` rows (day-loop zero-alloc contract).
@@ -74,6 +84,7 @@ class ScanEngine {
  private:
   netsim::NetworkSim* sim_;
   engine::Engine* engine_;
+  obs::Observability* obs_ = nullptr;
   ResolvedTargetTable table_;
 };
 

@@ -35,3 +35,31 @@ std::uint64_t fixture_hot_path(std::size_t rows) {
 }
 
 }  // namespace v6h::scan
+
+namespace v6h::obs {
+
+namespace {
+
+// A span-shaped RAII helper whose destructor buys a buffer: the exact
+// mistake an instrumentation site would make by recording into a
+// growable container instead of the preallocated ring. The real
+// StageSpan/TraceRing pair must never look like this, and the lint
+// walking the obs roots must flag it when it does.
+struct AllocatingSpan {
+  std::uint64_t* slot;
+  explicit AllocatingSpan(std::uint64_t start) {
+    slot = new std::uint64_t(start);
+  }
+  ~AllocatingSpan() { delete slot; }
+};
+
+}  // namespace
+
+// Fixture root mirroring an instrumented stage entry (registered as a
+// lint root by the noalloc_lint_negative ctest).
+std::uint64_t fixture_span_path(std::uint64_t start, std::uint64_t end) {
+  AllocatingSpan span(start);
+  return end - *span.slot;
+}
+
+}  // namespace v6h::obs

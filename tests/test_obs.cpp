@@ -1,0 +1,371 @@
+// The observability contract (ISSUE 9): the layer may watch the day
+// loop, never steer it, and never touch the heap on a warm day.
+//
+//  1. Determinism: for seeds {1,2,3} x threads {1,4,8}, the DayReport
+//     fingerprint (the test_scan_equivalence idiom) is byte-identical
+//     with full observability (metrics + tracing) and with it off, and
+//     every metric registered `deterministic` merges to the same value
+//     for every thread count.
+//  2. Zero allocation: with metrics AND tracing enabled, warm run_day
+//     calls perform exactly zero heap allocations (global counting
+//     allocator, all threads), the trace ring never drops, and the
+//     day.allocs gauge streamed through the TelemetrySink agrees.
+//  3. Schema stability: the engine.chunk_rows histogram bucket bounds
+//     are pinned here; changing them must update this test and the
+//     README together (they are exported telemetry).
+//  4. Unit semantics: registry merge/delta rules, lane isolation,
+//     idempotent registration, and TraceRing drop-don't-wrap.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "hitlist/pipeline.h"
+#include "net/protocol.h"
+#include "netsim/network_sim.h"
+#include "netsim/universe.h"
+#include "obs/obs.h"
+#include "test_main.h"
+// Global counting operator new — include in exactly ONE TU per binary.
+#include "util/counting_allocator.h"
+
+using namespace v6h;
+
+namespace {
+
+constexpr int kDays = 10;
+constexpr int kFirstDay = 150;  // mid-campaign: real growth + flicker
+
+struct RunResult {
+  std::string fingerprint;  // byte-exact DayReport sequence
+  std::uint64_t probes = 0;
+  // (name, merged value) of every deterministic metric, id order.
+  std::vector<std::pair<std::string, std::uint64_t>> deterministic;
+  std::uint64_t days_metric = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t sink_days = 0;
+  std::uint64_t sink_probes = 0;
+};
+
+// Streams per-day telemetry into plain counters (no allocation — the
+// sink contract) so the registry-reported day stream can be checked
+// against ground truth.
+struct CountingSink final : obs::TelemetrySink {
+  std::uint64_t days = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t new_addresses = 0;
+  std::uint64_t last_hitlist_rows = 0;
+  void on_day(const obs::DayTelemetry& t) override {
+    ++days;
+    probes += t.probes;
+    new_addresses += t.new_addresses;
+    last_hitlist_rows = t.hitlist_rows;
+  }
+};
+
+RunResult run_pipeline(std::uint64_t seed, unsigned threads, bool with_obs) {
+  engine::EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine::Engine eng(engine_options);
+
+  netsim::UniverseParams params;
+  params.seed = seed;
+  params.scale = 0.05;
+  params.tail_as_count = 300;
+  const netsim::Universe universe(params, &eng);
+  netsim::NetworkSim sim(universe);
+  hitlist::PipelineOptions options;
+  options.apd.window_days = 1;  // short window: alias flips happen in-run
+
+  std::unique_ptr<obs::Observability> observability;
+  CountingSink sink;
+  if (with_obs) {
+    obs::ObsOptions obs_options;
+    obs_options.tracing = true;  // full fat: metrics AND the ring
+    observability = std::make_unique<obs::Observability>(obs_options,
+                                                         eng.threads());
+    observability->set_sink(&sink);
+    eng.set_observability(observability.get());
+    options.obs = observability.get();
+  }
+  hitlist::Pipeline pipeline(universe, sim, options, &eng);
+
+  RunResult result;
+  std::string& fp = result.fingerprint;
+  auto field = [&fp](const char* label, std::uint64_t value) {
+    fp += label;
+    fp += std::to_string(value);
+  };
+  for (int day = kFirstDay; day < kFirstDay + kDays; ++day) {
+    const auto report = pipeline.run_day(day);
+    field("\nday ", static_cast<std::uint64_t>(day));
+    field(" new=", report.new_addresses);
+    field(" aliased=", report.aliased_prefixes);
+    field(" scanned=", report.scanned_targets);
+    const probe::ScanReport materialized = report.scan().to_report();
+    for (const auto protocol : net::kAllProtocols) {
+      field(" ", materialized.responsive_count(protocol));
+    }
+    for (const auto& target : materialized.targets) {
+      fp += "\n  ";
+      fp += target.address.to_string();
+      field("/", target.responded_mask);
+    }
+  }
+  result.probes = sim.probes_sent();
+  if (with_obs) {
+    eng.set_observability(nullptr);
+    const obs::Registry& registry = observability->registry();
+    for (obs::MetricId id = 0; id < registry.metric_count(); ++id) {
+      const auto& desc = registry.describe(id);
+      if (desc.deterministic) {
+        result.deterministic.emplace_back(desc.name, registry.merged(id));
+      }
+    }
+    result.days_metric = registry.merged(observability->core().days);
+    result.trace_events = observability->ring().size();
+    result.trace_dropped = observability->ring().dropped();
+    result.sink_days = sink.days;
+    result.sink_probes = sink.probes;
+  }
+  return result;
+}
+
+void determinism_sweep(const std::vector<unsigned>& thread_counts) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    // Ground truth: observability fully off, one thread.
+    const RunResult base = run_pipeline(seed, 1, /*with_obs=*/false);
+    CHECK(!base.fingerprint.empty());
+    CHECK(base.probes > 0);
+    // The deterministic-metric reference comes from the single-thread
+    // observed run; every other thread count must merge identically.
+    const RunResult obs_base = run_pipeline(seed, 1, /*with_obs=*/true);
+    CHECK(obs_base.fingerprint == base.fingerprint);
+    CHECK_EQ(obs_base.probes, base.probes);
+    CHECK(!obs_base.deterministic.empty());
+    CHECK_EQ(obs_base.days_metric, static_cast<std::uint64_t>(kDays));
+    CHECK_EQ(obs_base.sink_days, static_cast<std::uint64_t>(kDays));
+    // Every simulator probe happens inside some run_day, so the
+    // registry's probe counter must cover them all exactly.
+    CHECK_EQ(obs_base.sink_probes, base.probes);
+    CHECK(obs_base.trace_events > 0);
+    CHECK_EQ(obs_base.trace_dropped, 0u);
+    for (const unsigned threads : thread_counts) {
+      if (threads == 1) continue;  // that is `obs_base`
+      const RunResult other = run_pipeline(seed, threads, /*with_obs=*/true);
+      CHECK(other.fingerprint == base.fingerprint);
+      CHECK_EQ(other.probes, base.probes);
+      CHECK_EQ(other.deterministic.size(), obs_base.deterministic.size());
+      for (std::size_t i = 0; i < other.deterministic.size() &&
+                              i < obs_base.deterministic.size();
+           ++i) {
+        CHECK(other.deterministic[i].first == obs_base.deterministic[i].first);
+        const bool same =
+            other.deterministic[i].second == obs_base.deterministic[i].second;
+        CHECK(same);
+        if (!same) {
+          std::fprintf(stderr,
+                       "  seed %llu threads %u: %s merged to %llu, "
+                       "single-thread merged to %llu\n",
+                       static_cast<unsigned long long>(seed), threads,
+                       other.deterministic[i].first.c_str(),
+                       static_cast<unsigned long long>(
+                           other.deterministic[i].second),
+                       static_cast<unsigned long long>(
+                           obs_base.deterministic[i].second));
+        }
+      }
+    }
+    std::printf("seed %llu: %zu-byte day sequence, %zu deterministic "
+                "metrics, %llu trace events\n",
+                static_cast<unsigned long long>(seed), base.fingerprint.size(),
+                obs_base.deterministic.size(),
+                static_cast<unsigned long long>(obs_base.trace_events));
+  }
+}
+
+// The test_day_alloc window rerun with the FULL observability layer on
+// (metrics, tracing, telemetry sink, alloc probe): warm days must
+// still allocate exactly zero times, and the day.allocs gauge the
+// registry exports must agree with the counting allocator.
+void zero_alloc_with_obs(unsigned threads) {
+  engine::EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine::Engine eng(engine_options);
+
+  netsim::UniverseParams params;
+  params.seed = 5;
+  params.scale = 0.05;
+  params.tail_as_count = 300;
+  const netsim::Universe universe(params, &eng);
+  netsim::NetworkSim sim(universe);
+
+  obs::ObsOptions obs_options;
+  obs_options.tracing = true;
+  obs::Observability observability(obs_options, eng.threads());
+  observability.set_alloc_probe(&util::allocation_count);
+  CountingSink sink;
+  observability.set_sink(&sink);
+  eng.set_observability(&observability);
+  hitlist::PipelineOptions options;
+  options.obs = &observability;
+  hitlist::Pipeline pipeline(universe, sim, options, &eng);
+
+  const int first_day = 100;
+  const int warmup_days = 2;
+  const int total_days = 18;
+  std::size_t flips_in_window = 0;
+  std::size_t responsive_total = 0;
+  std::vector<std::uint64_t> day_allocs;
+  std::vector<std::uint64_t> gauge_allocs;
+  day_allocs.reserve(static_cast<std::size_t>(total_days));
+  gauge_allocs.reserve(static_cast<std::size_t>(total_days));
+  for (int d = 0; d < total_days; ++d) {
+    const std::uint64_t before = util::allocation_count();
+    const auto report = pipeline.run_day(first_day + d);
+    responsive_total += report.scan().responsive_any_count();
+    day_allocs.push_back(util::allocation_count() - before);
+    gauge_allocs.push_back(observability.last_day().allocs);
+    if (d >= warmup_days) {
+      flips_in_window += !pipeline.last_delta().became_aliased.empty() ||
+                         !pipeline.last_delta().became_clean.empty();
+    }
+  }
+  eng.set_observability(nullptr);
+  CHECK(responsive_total > 0);  // the days did real scan work
+  CHECK(flips_in_window > 0);   // verdict-flip path exercised
+  for (int d = warmup_days; d < total_days; ++d) {
+    const auto idx = static_cast<std::size_t>(d);
+    CHECK_EQ(day_allocs[idx], 0u);
+    CHECK_EQ(gauge_allocs[idx], 0u);
+    if (day_allocs[idx] != 0) {
+      std::fprintf(stderr, "  day %d (threads %u): %llu allocations\n",
+                   first_day + d, threads,
+                   static_cast<unsigned long long>(day_allocs[idx]));
+    }
+  }
+  // The ring actually recorded the window and never dropped (capacity
+  // must absorb a whole campaign window at this scale).
+  CHECK(observability.ring().size() > 0);
+  CHECK_EQ(observability.ring().dropped(), 0u);
+  CHECK_EQ(sink.days, static_cast<std::uint64_t>(total_days));
+  // Cold exports stay out of the day path but must produce the
+  // documented envelopes.
+  const std::string trace = observability.trace_json();
+  CHECK(trace.find("\"traceEvents\"") != std::string::npos);
+  CHECK(trace.find("\"collect\"") != std::string::npos);
+  if (threads > 1) {
+    // Serial engines never dispatch pool sweeps, so pool_run spans
+    // only exist on parallel runs.
+    CHECK(trace.find("\"pool_run\"") != std::string::npos);
+  }
+  const std::string metrics = observability.metrics_json();
+  CHECK(metrics.find("\"pipeline.probes\"") != std::string::npos);
+  CHECK(metrics.find("\"engine.chunk_rows\"") != std::string::npos);
+}
+
+// Pinned telemetry schema: the chunk-size histogram bucket bounds are
+// documented in README.md and exported by name; a change here is a
+// schema change and must update both.
+void histogram_schema() {
+  CHECK_EQ(obs::kChunkRowsBucketCount, 9u);
+  constexpr std::uint64_t expected[] = {64,    256,    1024,   4096,
+                                        16384, 65536,  262144, 1048576};
+  for (std::size_t i = 0; i < 8; ++i) {
+    CHECK_EQ(obs::kChunkRowsBounds[i], expected[i]);
+  }
+
+  obs::Registry registry(4, 16, 1);
+  const auto h = registry.histogram("test.h", obs::kChunkRowsBounds, 8);
+  registry.observe(h, 0);        // bucket 0: < 64
+  registry.observe(h, 63);       // bucket 0
+  registry.observe(h, 64);       // bucket 1: < 256
+  registry.observe(h, 4095);     // bucket 3: < 4096
+  registry.observe(h, 1048575);  // bucket 7: < 1048576
+  registry.observe(h, 1048576);  // bucket 8: overflow
+  registry.observe(h, ~0ull);    // bucket 8
+  registry.merge_day();
+  CHECK_EQ(registry.merged_bucket(h, 0), 2u);
+  CHECK_EQ(registry.merged_bucket(h, 1), 1u);
+  CHECK_EQ(registry.merged_bucket(h, 2), 0u);
+  CHECK_EQ(registry.merged_bucket(h, 3), 1u);
+  CHECK_EQ(registry.merged_bucket(h, 7), 1u);
+  CHECK_EQ(registry.merged_bucket(h, 8), 2u);
+}
+
+void registry_semantics() {
+  obs::Registry registry(8, 32, 3);
+  const auto c = registry.counter("unit.counter", true);
+  const auto g = registry.gauge("unit.gauge", true);
+  // Idempotent by name: same id, same shape.
+  CHECK_EQ(registry.counter("unit.counter", true), c);
+  CHECK_EQ(registry.describe(c).kind == obs::MetricKind::kCounter, true);
+  CHECK(registry.describe(c).deterministic);
+
+  // Lane isolation: writes from two lanes merge additively. set_lane
+  // is thread-local, so faking lanes from one thread is safe as long
+  // as it is restored (other tests in this binary assume lane 0).
+  registry.add(c, 5);
+  registry.set(g, 7);
+  obs::set_lane(2);
+  registry.add(c, 11);
+  obs::set_lane(0);
+  registry.merge_day();
+  CHECK_EQ(registry.merged(c), 16u);
+  CHECK_EQ(registry.day(c), 16u);
+  CHECK_EQ(registry.merged(g), 7u);
+  CHECK_EQ(registry.day(g), 7u);
+
+  // Second day: counters report the delta, gauges the current value.
+  registry.add(c, 4);
+  registry.set(g, 3);
+  registry.merge_day();
+  CHECK_EQ(registry.merged(c), 20u);
+  CHECK_EQ(registry.day(c), 4u);
+  CHECK_EQ(registry.day(g), 3u);
+
+  // An out-of-range lane clamps to lane 0 instead of corrupting
+  // memory (documented fallback; loses one-writer, never safety).
+  obs::set_lane(99);
+  registry.add(c, 1);
+  obs::set_lane(0);
+  registry.merge_day();
+  CHECK_EQ(registry.day(c), 1u);
+}
+
+void trace_ring_drops() {
+  obs::TraceRing ring(4);
+  CHECK_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.span("s", i * 10, i * 10 + 5);
+  }
+  CHECK_EQ(ring.size(), 4u);
+  CHECK_EQ(ring.dropped(), 2u);
+  // The chronological PREFIX survives (drop-at-tail, never wrap): the
+  // nesting validator in tools/check_trace.py depends on this.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    CHECK_EQ(ring.event(i).ts_ns, i * 10);
+    CHECK_EQ(ring.event(i).dur_or_value, 5u);
+  }
+  ring.counter("c", 100, 42);  // also dropped once full
+  CHECK_EQ(ring.dropped(), 3u);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  histogram_schema();
+  registry_semantics();
+  trace_ring_drops();
+  determinism_sweep(v6h::test::thread_counts_from_cli(argc, argv, {1, 4, 8}));
+  for (const unsigned threads :
+       v6h::test::thread_counts_from_cli(argc, argv, {1, 4})) {
+    zero_alloc_with_obs(threads);
+  }
+  std::printf("%d checks, %d failures\n", v6h::test::checks,
+              v6h::test::failures);
+  return v6h::test::failures == 0 ? 0 : 1;
+}

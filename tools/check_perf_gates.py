@@ -16,9 +16,19 @@ hard-fails the perf-smoke job on:
    the number comparable across machines of the same class; the
    generous tolerance absorbs the rest of the hardware delta while
    still catching a kernel that quietly fell back to scalar code
-   (a ~2.5x jump).
+   (a ~2.5x jump), and
+
+ * with --obs-run (ISSUE 9): an observability overhead regression —
+   the fully-instrumented run's incremental day-loop total may not
+   exceed --obs-factor (default 1.03) times the --obs-off baseline
+   plus --obs-grace-ms (default 30 ms — two back-to-back processes on
+   a shared CI runner carry a few ms of scheduler noise each, which a
+   pure ratio would mistake for overhead on a fast run). The obs
+   run's frame `allocs` must also be zero on every warm day: tracing
+   and metrics enabled may not reintroduce day-loop allocations.
 
 Usage: check_perf_gates.py --fresh bench-out [--baseline repo-root]
+                           [--obs-run bench-out-obs]
 Exit: 0 when all gates hold, 1 on violation, 2 on missing artifacts.
 """
 
@@ -45,6 +55,13 @@ def main():
                         help="directory with the committed baselines")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional resolved_ns regression")
+    parser.add_argument("--obs-run", default=None,
+                        help="directory with the fully-instrumented "
+                             "BENCH_*.json run (enables the overhead gate)")
+    parser.add_argument("--obs-factor", type=float, default=1.03,
+                        help="allowed obs/baseline day-loop time ratio")
+    parser.add_argument("--obs-grace-ms", type=float, default=30.0,
+                        help="absolute grace on the obs overhead gate")
     args = parser.parse_args()
 
     fresh_scan = load(Path(args.fresh) / "BENCH_scan.json")
@@ -79,6 +96,33 @@ def main():
     else:
         print(f"check_perf_gates: resolved {fresh_ns:.2f} ns/probe vs "
               f"baseline {base_ns:.2f} — OK")
+
+    if args.obs_run:
+        base_pipe = load(Path(args.fresh) / "BENCH_pipeline.json")
+        obs_pipe = load(Path(args.obs_run) / "BENCH_pipeline.json")
+        obs_frame = load(Path(args.obs_run) / "BENCH_frame.json")
+        base_ms = sum(base_pipe.get("incremental", {}).get("day_ms", []))
+        obs_ms = sum(obs_pipe.get("incremental", {}).get("day_ms", []))
+        if base_ms <= 0 or obs_ms <= 0:
+            print("check_perf_gates: missing incremental day_ms series "
+                  f"(baseline={base_ms}, obs={obs_ms})", file=sys.stderr)
+            failures += 1
+        elif obs_ms > base_ms * args.obs_factor + args.obs_grace_ms:
+            print(f"check_perf_gates: observability overhead too high: "
+                  f"{obs_ms:.1f} ms instrumented vs {base_ms:.1f} ms "
+                  f"baseline (allowed {args.obs_factor:.2f}x "
+                  f"+ {args.obs_grace_ms:.0f} ms)", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"check_perf_gates: obs overhead {obs_ms:.1f} ms vs "
+                  f"{base_ms:.1f} ms baseline — OK")
+        for day, count in enumerate(
+                obs_frame.get("frame", {}).get("allocs", [])[1:], start=2):
+            if count != 0:
+                print(f"check_perf_gates: instrumented frame-path day {day} "
+                      f"allocated {count} times; full observability must "
+                      "stay allocation-free on warm days", file=sys.stderr)
+                failures += 1
 
     if failures:
         print(f"check_perf_gates: {failures} gate violation(s)",

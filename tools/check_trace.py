@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by the obs layer.
+
+Two layers of checking (ISSUE 9):
+
+ * Schema — the file is a JSON object with a `traceEvents` list whose
+   entries are complete-span ('X') or counter ('C') events carrying
+   the fields the Perfetto / chrome://tracing importers require: a
+   nonempty string `name`, integer `pid`/`tid`, a nonnegative numeric
+   `ts` (microseconds), a nonnegative `dur` for spans, and an integer
+   `args.value` for counters.
+
+ * Span nesting — per tid, spans sorted by start time must nest
+   strictly: a span that begins inside another must also end inside
+   it. The obs layer records spans from RAII scopes on one thread, so
+   a partial overlap can only mean a corrupted ring or a broken
+   begin/end pairing. The ring drops at the tail (never wraps), so
+   the surviving chronological prefix must still nest. A small
+   epsilon absorbs the %.3f microsecond rounding of the exporter.
+
+Usage: check_trace.py trace.json [--min-events N]
+Exit: 0 valid, 1 on schema/nesting violation, 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# The exporter rounds timestamps to 0.001 us; parent/child ends that
+# tie after rounding may invert by at most one quantum.
+EPS_US = 0.01
+
+ALLOWED_PHASES = {"X", "C"}
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_event(i, ev):
+    """Schema-check one event; returns a count of violations."""
+    bad = 0
+    name = ev.get("name")
+    if not isinstance(name, str) or not name:
+        bad += fail(f"event {i}: missing or empty name")
+    ph = ev.get("ph")
+    if ph not in ALLOWED_PHASES:
+        bad += fail(f"event {i} ({name!r}): phase {ph!r} not in "
+                    f"{sorted(ALLOWED_PHASES)}")
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            bad += fail(f"event {i} ({name!r}): {key} must be an integer")
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        bad += fail(f"event {i} ({name!r}): ts must be a nonnegative number")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            bad += fail(f"event {i} ({name!r}): X event needs dur >= 0")
+    if ph == "C":
+        value = ev.get("args", {}).get("value")
+        if not isinstance(value, int) or value < 0:
+            bad += fail(f"event {i} ({name!r}): C event needs integer "
+                        "args.value >= 0")
+    return bad
+
+
+def check_nesting(events):
+    """Per-tid monotonic nesting over the X spans; returns violations."""
+    bad = 0
+    spans_by_tid = {}
+    for ev in events:
+        if ev.get("ph") == "X":
+            spans_by_tid.setdefault(ev.get("tid"), []).append(ev)
+    for tid, spans in sorted(spans_by_tid.items()):
+        # Start ascending; at equal starts the longer span is the
+        # parent and must come first.
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # open (name, start, end) spans, innermost last
+        for ev in spans:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and stack[-1][2] <= start + EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][2] + EPS_US:
+                bad += fail(
+                    f"tid {tid}: span {ev['name']!r} "
+                    f"[{start:.3f}, {end:.3f}) overlaps enclosing "
+                    f"{stack[-1][0]!r} [{stack[-1][1]:.3f}, "
+                    f"{stack[-1][2]:.3f}) without nesting")
+            stack.append((ev["name"], start, end))
+    return bad
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail when fewer events were recorded")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"check_trace: cannot read {args.trace}: {err}",
+              file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents list") or 1
+
+    events = doc["traceEvents"]
+    violations = 0
+    if len(events) < args.min_events:
+        violations += fail(f"only {len(events)} events recorded "
+                           f"(--min-events {args.min_events})")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            violations += fail(f"event {i}: not an object")
+            continue
+        violations += check_event(i, ev)
+    if not violations:
+        violations += check_nesting(events)
+
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    if not isinstance(dropped, int) or dropped < 0:
+        violations += fail("otherData.dropped_events must be a "
+                           "nonnegative integer when present")
+
+    if violations:
+        print(f"check_trace: {violations} violation(s) in {args.trace}",
+              file=sys.stderr)
+        return 1
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    counters = len(events) - spans
+    print(f"check_trace: {args.trace} OK — {spans} spans, "
+          f"{counters} counters, {dropped} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
