@@ -102,6 +102,7 @@ const std::vector<Prefix>& CandidateCounter::add_addresses(
   // function of the address set regardless of hash-map iteration
   // order, and sorting makes the returned order canonical too.
   for (const auto& shard_counts : local_) {
+    // order_lint: allow(sum-commutative: counts only grow; crossed_ sorted below)
     for (const auto& [prefix, added] : shard_counts) {
       auto& total = counts_[prefix];
       const bool was_candidate = total >= min_targets_;
@@ -218,6 +219,7 @@ std::vector<Prefix> AliasDetector::candidate_prefixes(
     count_address_levels(a, bgp, counts);
   }
   std::vector<Prefix> out;
+  // order_lint: allow(sorted-after: membership filter, out is sorted below)
   for (const auto& [prefix, count] : counts) {
     if (count >= options_.min_targets) out.push_back(prefix);
   }
@@ -227,6 +229,7 @@ std::vector<Prefix> AliasDetector::candidate_prefixes(
 
 std::map<Prefix, unsigned> AliasDetector::verdict_flips() const {
   std::map<Prefix, unsigned> out;
+  // order_lint: allow(sorted-after: emplaced into an ordered std::map keyed by prefix)
   for (const auto& [prefix, verdict_state] : state_) {
     if (verdict_state.flips > 0) out.emplace(prefix, verdict_state.flips);
   }
@@ -235,6 +238,7 @@ std::map<Prefix, unsigned> AliasDetector::verdict_flips() const {
 
 std::vector<Prefix> AliasDetector::current_aliased() const {
   std::vector<Prefix> out;
+  // order_lint: allow(sorted-after: membership filter, out is sorted below)
   for (const auto& [prefix, verdict_state] : state_) {
     if (verdict_state.window.verdict()) out.push_back(prefix);
   }

@@ -91,9 +91,10 @@ class ThreadPool {
   util::CondVar wake_;
   util::CondVar done_;
   // Observability hook; null when disabled. Relaxed everywhere: it
-  // only changes between runs, and the run() protocol already orders
-  // those edges for the workers.
-  std::atomic<obs::Observability*> obs_{nullptr};
+  // only changes between runs, and the publication edge named here —
+  // each run()'s release store of task_ and the workers' acquire
+  // loads of it — already orders those writes for the workers.
+  std::atomic<obs::Observability*> obs_ V6H_PUBLISHED_BY(task_ publication) = nullptr;
   std::uint64_t epoch_ V6H_GUARDED_BY(mu_) = 0;
   bool stop_ V6H_GUARDED_BY(mu_) = false;
   bool inside_run_ = false;  // caller-thread only, never shared

@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace v6h::obs {
 
 /// The observability lane of the current thread: 0 for the pipeline
@@ -138,11 +140,20 @@ class Registry {
   std::size_t stride_;  // slots per lane
   unsigned lanes_;
   std::uint32_t used_slots_ = 0;
-  std::vector<Desc> descs_;
-  std::vector<std::atomic<std::uint64_t>> cells_;  // lanes_ x stride_
-  std::vector<std::uint64_t> merged_;              // cumulative
-  std::vector<std::uint64_t> prev_;                // previous merge
-  std::vector<std::uint64_t> day_;                 // delta of the day
+  // Registration is construction-time, coordinator-only; the hot path
+  // reads descs_ without synchronization because it never changes
+  // after the last register_metric.
+  std::vector<Desc> descs_ V6H_LANE_OWNED(coordinator at construction);
+  // lanes_ x stride_; cell (l, s) is written only by the thread whose
+  // t_lane == l, with relaxed load/store pairs. merge_day's cross-lane
+  // reads are ordered by the publication edge named here: the pool
+  // return barrier of the day's last parallel phase.
+  std::vector<std::atomic<std::uint64_t>> cells_ V6H_PUBLISHED_BY(pool barrier);
+  // Merge outputs (cumulative / previous merge / delta of the day):
+  // written and read by the coordinator only, between parallel phases.
+  std::vector<std::uint64_t> merged_ V6H_LANE_OWNED(coordinator);
+  std::vector<std::uint64_t> prev_ V6H_LANE_OWNED(coordinator);
+  std::vector<std::uint64_t> day_ V6H_LANE_OWNED(coordinator);
 };
 
 }  // namespace v6h::obs

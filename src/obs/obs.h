@@ -24,6 +24,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_annotations.h"
 
 namespace v6h::obs {
 
@@ -159,11 +160,15 @@ class Observability {
   Registry registry_;
   TraceRing ring_;
   CoreMetrics core_{};
-  TelemetrySink* sink_ = nullptr;
-  std::uint64_t (*alloc_probe_)() = nullptr;
-  std::uint64_t day_start_ns_ = 0;
-  std::uint64_t allocs_at_begin_ = 0;
-  DayTelemetry telemetry_;
+  // Configuration hooks: set between runs on the coordinator, read by
+  // end_day on the same thread. Workers never touch them.
+  TelemetrySink* sink_ V6H_LANE_OWNED(coordinator) = nullptr;
+  std::uint64_t (*alloc_probe_)() V6H_LANE_OWNED(coordinator) = nullptr;
+  // Day-boundary bookkeeping: begin_day/end_day/record-assembly run on
+  // the coordinator only, outside any parallel phase.
+  std::uint64_t day_start_ns_ V6H_LANE_OWNED(coordinator) = 0;
+  std::uint64_t allocs_at_begin_ V6H_LANE_OWNED(coordinator) = 0;
+  DayTelemetry telemetry_ V6H_LANE_OWNED(coordinator);
 };
 
 /// RAII stage span: times a scope and reports it to `obs` (no-op when

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace v6h::obs {
 
 struct TraceEvent {
@@ -51,7 +53,16 @@ class TraceRing {
  private:
   TraceEvent* claim();
 
-  std::vector<TraceEvent> events_;
+  // Slot i is written only by the thread whose fetch_add on cursor_
+  // returned i — the claim transfers exclusive ownership of that slot
+  // to the claimant. The cold exporters read slots only across the
+  // publication edge named here: the pool return barrier of the last
+  // parallel sweep orders every claimed slot's fill before the
+  // coordinator's export walk.
+  std::vector<TraceEvent> events_ V6H_PUBLISHED_BY(pool barrier);
+  // Relaxed is enough for both: cursor_ only hands out distinct slot
+  // indices (the fetch_add's atomicity is the whole contract) and
+  // dropped_ is a statistic read after the same barrier as events_.
   std::atomic<std::size_t> cursor_{0};
   std::atomic<std::uint64_t> dropped_{0};
 };

@@ -24,7 +24,11 @@
 //  - structures shared with engine workers without a lock (the
 //    resolved-target columns, ScanFrame's mask column, TargetStore)
 //    document their phase discipline — who writes, when, and what
-//    synchronizes the hand-off — next to the data they describe.
+//    synchronizes the hand-off — next to the data they describe;
+//  - lock-free shared state (the obs layer: Registry lanes, the
+//    TraceRing, the day-telemetry record) carries V6H_LANE_OWNED /
+//    V6H_PUBLISHED_BY markers naming its single writer and the
+//    happens-before edge that publishes its writes (below).
 
 #include <condition_variable>
 #include <mutex>
@@ -51,6 +55,28 @@
 #define V6H_EXCLUDES(...) V6H_TS_ATTR(locks_excluded(__VA_ARGS__))
 #define V6H_RETURN_CAPABILITY(x) V6H_TS_ATTR(lock_returned(x))
 #define V6H_NO_THREAD_SAFETY_ANALYSIS V6H_TS_ATTR(no_thread_safety_analysis)
+
+// Lock-free publication markers. Clang's capability analysis tracks
+// mutexes, not happens-before edges, so the obs layer's discipline —
+// one writer per lane, pool-barrier publication, acquire/release
+// pairs — has nothing for V6H_GUARDED_BY to name. These two expand to
+// nothing under EVERY compiler; they make the unguarded-but-safe
+// fields carry their safety argument in a form that is greppable next
+// to the checked annotations, and they mark exactly the places a
+// future capability (or a TSan suppression) would attach to. On a
+// field, name the discipline precisely: who the single writer is, and
+// which edge readers must cross before the value is theirs.
+//   V6H_LANE_OWNED(owner)   exactly one thread writes: the named lane
+//                           or role. Concurrent readers are a bug
+//                           unless a V6H_PUBLISHED_BY edge covers the
+//                           read.
+//   V6H_PUBLISHED_BY(edge)  writes become visible to readers only via
+//                           the named synchronization edge (a pool
+//                           return barrier, a release/acquire pair on
+//                           a named atomic).
+// Documentation only: both expand to nothing under every compiler.
+#define V6H_LANE_OWNED(...)
+#define V6H_PUBLISHED_BY(...)
 
 namespace v6h::util {
 

@@ -1,0 +1,34 @@
+// Negative fixture for symlint's `nodeterminism` policy: a
+// day-loop-shaped call graph that seeds itself from the host's
+// entropy source. This is the exact mistake the policy exists to
+// catch — a std::random_device (or ::time, or getenv) anywhere under
+// Pipeline::run_day would make the campaign's daily outputs a
+// function of the machine, not of (universe seed, day), silently
+// breaking the byte-identical reproduction contract. The
+// nodeterminism_lint_negative ctest walks fixture_day_seed and must
+// find this path; if it stops finding it, the policy has gone blind.
+// Compiled into the symlint_fixture object library and never linked
+// into the product.
+
+#include <random>
+
+namespace v6h::hitlist {
+
+namespace {
+
+// The tempting "just add a little jitter" helper: host entropy
+// dressed up as a seed derivation.
+unsigned entropy_draw() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace
+
+// The fixture root the lint walks from (mirrors a per-day seed
+// derivation that should be a pure function of the day index).
+unsigned fixture_day_seed(int day) {
+  return static_cast<unsigned>(day) * 0x9E3779B9u + entropy_draw();
+}
+
+}  // namespace v6h::hitlist

@@ -1,0 +1,43 @@
+// Negative fixture for symlint's `nothrow-hotpath` policy: a probe-
+// kernel look-alike that throws on a bounds check. The branchless
+// kernels must never unwind — a throw path forces the compiler to
+// keep landing pads and exact instruction ordering alive inside what
+// should be a straight-line auto-vectorized sweep, and an exception
+// escaping a parallel_for body would tear down the whole pool
+// mid-barrier. Kernel-shaped code validates with masks and saturating
+// arithmetic, never with `throw`; the real kernels' checked
+// alternatives live behind the schedule/admission layer. The
+// nothrow_hotpath_lint_negative ctest walks fixture_kernel_sweep and
+// must find the __cxa_throw/__cxa_allocate_exception path this
+// fixture plants. Compiled into the symlint_fixture object library
+// and never linked into the product.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace v6h::netsim {
+
+namespace {
+
+constexpr std::size_t kFixtureRowLimit = 1u << 20;
+
+// Throws a trivially-copyable payload on purpose: even without a
+// std::string in sight, the raise itself is __cxa_allocate_exception
+// + __cxa_throw, which is exactly what the policy bans.
+[[noreturn]] void reject_row(std::size_t row) { throw row; }
+
+}  // namespace
+
+// The fixture root the lint walks from (mirrors a tiled kernel sweep
+// that "validates" its row ids the wrong way).
+std::uint64_t fixture_kernel_sweep(const std::uint32_t* rows,
+                                   std::size_t count) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rows[i] >= kFixtureRowLimit) reject_row(i);
+    acc += rows[i] * 0x9E3779B9u;
+  }
+  return acc;
+}
+
+}  // namespace v6h::netsim

@@ -1,298 +1,36 @@
 #!/usr/bin/env python3
-"""Static no-allocation lint for the steady-state day loop.
+"""Static no-allocation lint — thin wrapper over tools/symlint.py.
 
-PR 5 made the daily scan zero-allocation at steady state and enforces
-it at runtime with a counting allocator (tests/test_scan_frame.cpp) —
-but a runtime test only sees the inputs it runs. This lint makes the
-complementary *static* claim on every build: walking the machine-code
-call graph from the hot-path roots, no path reaches operator new /
-malloc except through an explicit allowlist. The roots now cover the
-WHOLE warm day (Pipeline::run_day and the stage entry points it fans
-out to — SourceSimulator::collect, CandidateCounter::add_addresses,
-AliasDetector::run_day_on_prefixes, TargetStore::insert — plus the
-scan surface: ScanEngine::scan_store, the ScanFrame refill surface,
-NetworkSim::probe_resolved_mask, TargetStore::unaliased_rows), so a
-new std::string or node-container insert anywhere in the day loop
-fails the build, not just the scan tail.
+PR 6 shipped this file as a single-purpose lint proving the
+steady-state day loop reaches no operator new / malloc outside the
+documented capacity-elastic growth allowlist. The objdump call-graph
+walker now lives in tools/symlint.py as the shared engine behind the
+whole policy family (noalloc, nodeterminism, noio, nothrow-hotpath —
+see symlint.py's docstring and the README "Correctness tooling"
+policy table); this wrapper keeps the historical CLI, the `noalloc`
+policy semantics, and the `noalloc_lint` / `noalloc_lint_negative`
+ctest names stable for existing CI and docs.
 
-How it works
-------------
-The CMake target `noalloc_lint` compiles the hot-path translation
-units with `-fno-inline` (see the noalloc_objs object library), so
-every libstdc++ helper stays an out-of-line call and allocation sites
-keep their own symbol instead of being inlined into their caller.
-This script disassembles those objects (`objdump -dr`), collects
-caller -> callee edges from direct call/jmp instructions and their
-relocations, and searches breadth-first from the roots.
+Usage is unchanged:
 
-The allowlist policy (see README "Correctness tooling")
--------------------------------------------------------
-Allowed to allocate, and therefore CUT from the traversal:
+  noalloc_lint.py --root PREFIX [--root ...] [--allow REGEX]
+                  [--no-default-allowlist] [--expect-violation]
+                  objects...
 
- * std::vector's growth/refill machinery (_M_realloc_insert,
-   _M_default_append, _M_fill_assign, ... and reserve). These are the
-   capacity-elastic paths the zero-alloc design *relies on*: they
-   allocate while a buffer warms up and never again, which is exactly
-   what the runtime counting-allocator test pins down. The static
-   lint cannot tell a warm vector from a cold one, so the two checks
-   split the work: this lint proves no *other* allocation route
-   exists (no std::string, no node containers, no make_unique, no
-   bare new), the runtime test proves the vector routes go quiet.
-
- * The project's own capacity-elastic growth members, under the same
-   policy: FlatMap/FlatSet::rehash (the flat tables' ONLY allocation
-   site — grow() and reserve() both route through it) and
-   PrefixTrie::reserve/grow_values (the trie value deque's only push
-   sites; a reserve()d trie pops its freelist instead). Only the
-   named growth member is cut: an unexpected allocation anywhere
-   else in those containers still trips.
-
- * Pipeline's cold rebuild hatches (rebuild_candidates,
-   rebuild_filter, legacy_scan_day), passed as --allow next to the
-   root declarations in CMakeLists: run_day calls them only on
-   construction-adjacent or explicitly legacy configurations, never
-   in the warm steady state — the counting-allocator test
-   (tests/test_day_alloc.cpp) is what proves they stay cold.
-
-The std::function capture spill of the parallel scan dispatch
-(run_scan_parallel) used to be allowlisted here; the FunctionRef
-rework removed the spill, so the entry is gone and a reintroduced
-capture allocation now fails the lint.
-
-Known limits: indirect calls (ResultSink's virtual dispatch, function
-pointers) are not walked — sinks are consumer-owned code outside the
-library's contract. Anonymous-namespace symbols are keyed by mangled
-name only, which is unique per TU in practice for this object set.
-
-Exit status: 0 clean, 1 violation(s) found, 2 tool/usage error.
-With --expect-violation the 0/1 meanings swap (the negative fixture
-test asserts the lint actually bites).
+Exit status: 0 clean, 1 violation(s), 2 tool/usage error; meanings of
+0/1 swap under --expect-violation. Allowlist policy, witness-chain
+output, and known limits are documented in symlint.py.
 """
 
-import argparse
-import re
-import shutil
-import subprocess
 import sys
-from collections import defaultdict, deque
 
-# Leaf symbols that mean "this path allocates". Mangled names: any
-# operator new flavor starts with _Znw / _Zna.
-BANNED_MANGLED_PREFIXES = ("_Znwm", "_Znam", "_ZnwmRKSt9nothrow_t",
-                           "_ZnamRKSt9nothrow_t", "_ZnwmSt11align_val_t",
-                           "_ZnamSt11align_val_t")
-BANNED_PLAIN = {
-    "malloc", "calloc", "realloc", "aligned_alloc", "posix_memalign",
-    "strdup", "__strdup", "valloc", "pvalloc", "memalign",
-}
-
-# Demangled-name regexes cut from the traversal (allowed to
-# allocate). Template member instantiations demangle with a leading
-# return type, so these match anywhere in the name but anchor on the
-# fully-qualified member — only std::vector's OWN machinery matches,
-# not the allocator, so node containers/string/deque still trip.
-DEFAULT_ALLOWLIST = [
-    r"\bstd::vector<.*>::_M_(realloc_insert|realloc_append|default_append|"
-    r"fill_assign|fill_insert|assign_aux|range_insert|insert_aux|"
-    r"emplace_back_aux|append)\s*[<(]",
-    r"\bstd::vector<.*>::reserve\(",
-    # The project's own capacity-elastic growth members (see the
-    # policy block above). Template members demangle with a leading
-    # return type, hence \b anchors.
-    r"\bv6h::util::Flat(Map|Set)<.*>::rehash\(",
-    r"\bv6h::ipv6::PrefixTrie<.*>::(reserve|grow_values)\(",
-]
-
-FUNC_RE = re.compile(r"^[0-9a-f]+ <([^>]+)>:$")
-CALL_TARGET_RE = re.compile(
-    r"\b(?:call|jmp)q?\s+[0-9a-f]+\s+<([^>+]+)(?:\+0x[0-9a-f]+)?>")
-RELOC_RE = re.compile(
-    r"^\s+[0-9a-f]+:\s+R_X86_64_(?:PLT32|PC32|GOTPCRELX?|REX_GOTPCRELX)"
-    r"\s+(\S+?)(?:[+-]0x[0-9a-f]+)?$")
-SUFFIX_RE = re.compile(r"(\.cold|\.part\.\d+|\.isra\.\d+|\.constprop\.\d+|"
-                       r"\.localalias(\.\d+)?)+$")
+import symlint
 
 
-def base_symbol(name):
-    """Fold compiler-split clones (.cold/.part/.isra) into their parent
-    so an allocation in a cold split is attributed to the function it
-    was split from."""
-    return SUFFIX_RE.sub("", name)
-
-
-def fail(msg):
-    print(msg, file=sys.stderr)
-    sys.exit(2)
-
-
-def parse_objects(objdump, paths):
-    """caller -> set(callee) over all objects/archives, mangled names."""
-    edges = defaultdict(set)
-    defined = set()
-    for path in paths:
-        try:
-            out = subprocess.run(
-                [objdump, "-dr", "--no-show-raw-insn", path],
-                check=True, capture_output=True, text=True).stdout
-        except (subprocess.CalledProcessError, FileNotFoundError) as err:
-            fail(f"noalloc_lint: objdump failed on {path}: {err}")
-        current = None
-        pending_call = False  # last instruction was a call/jmp
-        tentative = None  # call target named in the instruction itself
-        def commit():
-            nonlocal tentative
-            if tentative is not None and not tentative.startswith("."):
-                edges[current].add(base_symbol(tentative))
-            tentative = None
-        for line in out.splitlines():
-            m = FUNC_RE.match(line)
-            if m:
-                if current is not None:
-                    commit()
-                current = base_symbol(m.group(1))
-                defined.add(current)
-                pending_call = False
-                tentative = None
-                continue
-            if current is None:
-                continue
-            m = RELOC_RE.match(line)
-            if m:
-                # A relocation belongs to the preceding instruction
-                # and names the real target; the angle-bracket operand
-                # of a relocated call is a placeholder (objdump
-                # resolves the unrelocated offset to whatever symbol
-                # happens to sit at that address), so the relocation
-                # REPLACES the tentative edge. Only control transfers
-                # count — data refs would over-connect the graph.
-                if pending_call:
-                    tentative = None
-                    edges[current].add(base_symbol(m.group(1)))
-                continue
-            commit()  # previous instruction had no relocation
-            m = CALL_TARGET_RE.search(line)
-            if m:
-                tentative = m.group(1)
-            pending_call = "\tcall" in line or "\tjmp" in line
-        if current is not None:
-            commit()
-    return edges, defined
-
-
-def demangle(cxxfilt, names):
-    ordered = sorted(names)
-    try:
-        out = subprocess.run([cxxfilt], input="\n".join(ordered) + "\n",
-                             check=True, capture_output=True,
-                             text=True).stdout.splitlines()
-    except (subprocess.CalledProcessError, FileNotFoundError) as err:
-        fail(f"noalloc_lint: {cxxfilt} failed: {err}")
-    if len(out) != len(ordered):
-        fail("noalloc_lint: demangler line count mismatch")
-    return dict(zip(ordered, out))
-
-
-def is_banned(mangled, pretty):
-    if mangled in BANNED_PLAIN:
-        return True
-    # Placement new (operator new(size_t, void*)) constructs in place
-    # and allocates nothing; with -fno-inline it shows up as a real
-    # call from std::construct_at, so it must not count.
-    if ", void*)" in pretty:
-        return False
-    if mangled.startswith(("_Znw", "_Zna")):
-        return True
-    return pretty.startswith("operator new")
-
-
-def main():
-    parser = argparse.ArgumentParser(
-        description="prove the scan hot path reaches no allocator")
-    parser.add_argument("objects", nargs="+",
-                        help="object files or static archives to analyze")
-    parser.add_argument("--root", action="append", default=[],
-                        help="demangled-name prefix of a hot-path root "
-                             "(repeatable, at least one required)")
-    parser.add_argument("--allow", action="append", default=[],
-                        help="extra allowlist regex over demangled names")
-    parser.add_argument("--no-default-allowlist", action="store_true",
-                        help="drop the built-in vector-growth allowlist")
-    parser.add_argument("--expect-violation", action="store_true",
-                        help="invert: succeed only if a violation is found "
-                             "(negative fixture test)")
-    parser.add_argument("--objdump", default=shutil.which("objdump")
-                        or shutil.which("llvm-objdump") or "objdump")
-    parser.add_argument("--cxxfilt", default=shutil.which("c++filt")
-                        or shutil.which("llvm-cxxfilt") or "c++filt")
-    args = parser.parse_args()
-    if not args.root:
-        parser.error("at least one --root is required")
-
-    allow_patterns = ([] if args.no_default_allowlist else
-                      list(DEFAULT_ALLOWLIST)) + args.allow
-    allow_re = [re.compile(p) for p in allow_patterns]
-
-    # CMake's $<TARGET_OBJECTS:...> reaches add_test as one
-    # semicolon-joined argument; accept both forms.
-    objects = [o for arg in args.objects for o in arg.split(";") if o]
-    edges, defined = parse_objects(args.objdump, objects)
-    names = set(defined) | set(edges)
-    for callees in edges.values():
-        names |= callees
-    pretty = demangle(args.cxxfilt, names)
-
-    roots = sorted(sym for sym in defined
-                   if any(pretty[sym].startswith(r) for r in args.root))
-    missing = [r for r in args.root
-               if not any(pretty[sym].startswith(r) for sym in defined)]
-    if missing:
-        # A renamed root must fail loudly, or the lint goes vacuous.
-        fail("noalloc_lint: root(s) not found in the object set: "
-             + ", ".join(missing))
-
-    def allowed(sym):
-        return any(p.search(pretty[sym]) for p in allow_re)
-
-    # BFS; remember one parent per node to reconstruct a witness path.
-    parent = {sym: None for sym in roots}
-    queue = deque(roots)
-    violations = []
-    while queue:
-        node = queue.popleft()
-        for callee in sorted(edges.get(node, ())):
-            if callee in parent:
-                continue
-            if is_banned(callee, pretty.get(callee, callee)):
-                chain = [callee, node]
-                walk = node
-                while parent[walk] is not None:
-                    walk = parent[walk]
-                    chain.append(walk)
-                violations.append(list(reversed(chain)))
-                continue
-            parent[callee] = node
-            if not allowed(callee):  # cut: don't descend into allowlist
-                queue.append(callee)
-
-    if violations:
-        print(f"noalloc_lint: {len(violations)} allocation path(s) from "
-              f"{len(roots)} root(s):", file=sys.stderr)
-        for chain in violations:
-            print("  " + "\n    -> ".join(pretty.get(s, s) for s in chain),
-                  file=sys.stderr)
-    else:
-        reachable = sum(1 for s in parent if s in defined)
-        print(f"noalloc_lint: OK — {reachable} reachable functions from "
-              f"{len(roots)} root(s), no allocation outside the allowlist")
-
-    if args.expect_violation:
-        if violations:
-            print("noalloc_lint: violation found, as the fixture expects")
-            return 0
-        print("noalloc_lint: expected a violation but found none — "
-              "the lint has gone blind", file=sys.stderr)
-        return 1
-    return 1 if violations else 0
+def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    return symlint.main(["--policy", "noalloc"] + list(argv))
 
 
 if __name__ == "__main__":
